@@ -1,0 +1,135 @@
+//! Ablation: how the partitioning strategy shapes the bottleneck and
+//! imbalance profile.
+//!
+//! Not a paper figure — this isolates one design choice per engine that the
+//! paper's evaluation holds fixed:
+//!
+//! * Giraph-like: hash partitioning (balances vertices, not edges) vs
+//!   range-by-edges partitioning (balances edges). The compute-thread
+//!   imbalance Grade10 estimates should shrink under the edge-balanced
+//!   partitioner.
+//! * PowerGraph-like: greedy vertex-cut vs random edge placement. Random
+//!   placement inflates the replication factor and hence replica-sync
+//!   traffic and runtime.
+//! * Giraph-like: message combiners on/off. Combiners shrink the remote
+//!   message volume, which empties the bounded queues — the lever the
+//!   paper's conclusion points at for Giraph's communication subsystem.
+
+use grade10_core::issues::imbalance::imbalance_issue;
+use grade10_core::parse::build_execution_trace;
+use grade10_core::replay::ReplayConfig;
+use grade10_core::report::Table;
+use grade10_engines::bridge::to_raw_events;
+use grade10_engines::gas::run_gas;
+use grade10_engines::models::{gas_model, pregel_model};
+use grade10_engines::pregel::run_pregel;
+use grade10_engines::{Algorithm, Dataset};
+use grade10_graph::partition::{EdgeCutPartition, VertexCutPartition};
+
+fn main() {
+    let dataset = Dataset::Rmat { scale: 12, seed: 46 };
+    let graph = dataset.generate();
+    let algorithm = Algorithm::PageRank { iterations: 6 };
+
+    println!("=== Ablation: partitioning strategies ({}) ===\n", dataset.name());
+
+    // ---- Giraph-like: hash vs range-by-edges ----
+    let pcfg = grade10_engines::pregel::PregelConfig::default();
+    let (model, phases) = pregel_model();
+    let mut table = Table::new(&[
+        "edge-cut strategy",
+        "edge balance (max/mean)",
+        "thread imbalance impact",
+        "runtime",
+    ]);
+    for (name, part) in [
+        ("hash (Giraph default)", EdgeCutPartition::hash(&graph, pcfg.num_parts())),
+        (
+            "range-by-edges",
+            EdgeCutPartition::range_by_edges(&graph, pcfg.num_parts()),
+        ),
+    ] {
+        let work = algorithm.run(&graph, &part);
+        let sim = run_pregel(&work, graph.num_vertices(), graph.num_edges(), &pcfg);
+        let trace = build_execution_trace(&model, &to_raw_events(&sim.logs)).unwrap();
+        let imb = imbalance_issue(&model, &trace, phases.thread, &ReplayConfig::default());
+        table.row(&[
+            name.to_string(),
+            format!("{:.2}", part.edge_balance(&graph)),
+            format!("{:.1}%", 100.0 * imb.reduction),
+            format!("{:.2}s", sim.end_time.as_secs_f64()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // ---- PowerGraph-like: greedy vs random vertex-cut ----
+    let gcfg = grade10_engines::gas::GasConfig {
+        sync_bug: None, // isolate the partitioning effect
+        ..Default::default()
+    };
+    let (gmodel, gphases) = gas_model();
+    let mut table = Table::new(&[
+        "vertex-cut strategy",
+        "replication factor",
+        "gather imbalance impact",
+        "runtime",
+    ]);
+    for (name, part) in [
+        ("greedy (PowerGraph)", VertexCutPartition::greedy(&graph, gcfg.num_parts())),
+        (
+            "random placement",
+            VertexCutPartition::random(&graph, gcfg.num_parts(), 99),
+        ),
+    ] {
+        let work = algorithm.run(&graph, &part);
+        let run = run_gas(&work, graph.num_edges(), &gcfg);
+        let trace = build_execution_trace(&gmodel, &to_raw_events(&run.sim.logs)).unwrap();
+        let imb = imbalance_issue(
+            &gmodel,
+            &trace,
+            gphases.gather_thread,
+            &ReplayConfig::default(),
+        );
+        table.row(&[
+            name.to_string(),
+            format!("{:.2}", part.replication_factor()),
+            format!("{:.1}%", 100.0 * imb.reduction),
+            format!("{:.2}s", run.sim.end_time.as_secs_f64()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Expected: range-by-edges improves the Giraph edge balance and lowers the \
+         thread-imbalance impact; random vertex cuts raise the replication factor \
+         (more sync traffic) versus greedy."
+    );
+
+    // ---- Giraph-like: message combiners on/off ----
+    let mut table = Table::new(&[
+        "combiners",
+        "remote volume",
+        "queue stall time",
+        "runtime",
+    ]);
+    for (name, ratio) in [("off (Giraph default)", 1.0), ("on (0.3x volume)", 0.3)] {
+        let cfg = grade10_engines::pregel::PregelConfig {
+            combiner_ratio: ratio,
+            ..Default::default()
+        };
+        let part = EdgeCutPartition::hash(&graph, cfg.num_parts());
+        let work = algorithm.run(&graph, &part);
+        let sim = run_pregel(&work, graph.num_vertices(), graph.num_edges(), &cfg);
+        table.row(&[
+            name.to_string(),
+            format!("{:.0}%", 100.0 * ratio),
+            format!("{}", sim.stats.queue_stall_time),
+            format!("{:.2}s", sim.end_time.as_secs_f64()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Expected: combiners drain the bounded queues (stall time collapses) and \
+         shorten the run — quantifying the communication-subsystem improvement the \
+         paper's Giraph findings motivate."
+    );
+}

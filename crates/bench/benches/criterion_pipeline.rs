@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks of Grade10's own analysis cost.
+//!
+//! The paper's R4 requires the *monitoring* to be lightweight; these
+//! benches additionally quantify that the offline analysis scales well:
+//! demand estimation, upsampling + attribution (the full profile build),
+//! bottleneck scanning, and replay simulation, as a function of trace size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use grade10_core::attribution::{build_profile, ProfileConfig};
+use grade10_core::bottleneck::{BottleneckConfig, BottleneckReport};
+use grade10_core::model::{
+    AttributionRule, ExecutionModel, ExecutionModelBuilder, Repeat, RuleSet,
+};
+use grade10_core::replay::{replay_original, ReplayConfig};
+use grade10_core::trace::{
+    ExecutionTrace, ResourceInstance, ResourceTrace, TraceBuilder, MILLIS,
+};
+
+/// Builds a synthetic BSP-shaped trace: `steps` sequential steps × 4
+/// machines × `threads` parallel tasks, 100 ms each, with one 8-core CPU
+/// per machine measured every 400 ms.
+fn synthetic(
+    steps: usize,
+    threads: usize,
+) -> (ExecutionModel, RuleSet, ExecutionTrace, ResourceTrace) {
+    let machines = 4usize;
+    let mut b = ExecutionModelBuilder::new("job");
+    let root = b.root();
+    let step = b.child(root, "step", Repeat::Sequential);
+    let worker = b.child(step, "worker", Repeat::Parallel);
+    let task = b.child(worker, "task", Repeat::Parallel);
+    let model = b.build();
+    let rules = RuleSet::new().rule(task, "cpu", AttributionRule::Exact(1.0 / 8.0));
+
+    let mut tb = TraceBuilder::new(&model);
+    let step_ms = 100u64;
+    let total = steps as u64 * step_ms;
+    tb.add_phase(&[("job", 0)], 0, total * MILLIS, None, None).unwrap();
+    for s in 0..steps {
+        let t0 = s as u64 * step_ms;
+        tb.add_phase(
+            &[("job", 0), ("step", s as u32)],
+            t0 * MILLIS,
+            (t0 + step_ms) * MILLIS,
+            None,
+            None,
+        )
+        .unwrap();
+        for m in 0..machines {
+            tb.add_phase(
+                &[("job", 0), ("step", s as u32), ("worker", m as u32)],
+                t0 * MILLIS,
+                (t0 + step_ms) * MILLIS,
+                Some(m as u16),
+                None,
+            )
+            .unwrap();
+            for t in 0..threads {
+                // Slightly varied durations so the analyses do real work.
+                let d = step_ms - (t as u64 % 7) * 5;
+                tb.add_phase(
+                    &[
+                        ("job", 0),
+                        ("step", s as u32),
+                        ("worker", m as u32),
+                        ("task", t as u32),
+                    ],
+                    t0 * MILLIS,
+                    (t0 + d) * MILLIS,
+                    Some(m as u16),
+                    Some(t as u16),
+                )
+                .unwrap();
+            }
+        }
+    }
+    let trace = tb.build().unwrap();
+
+    let mut rt = ResourceTrace::new();
+    for m in 0..machines {
+        let cpu = rt.add_resource(ResourceInstance {
+            kind: "cpu".into(),
+            machine: Some(m as u16),
+            capacity: 8.0,
+        });
+        let samples: Vec<f64> = (0..total / 400).map(|i| 4.0 + (i % 4) as f64).collect();
+        rt.add_series(cpu, 0, 400 * MILLIS, &samples);
+    }
+    (model, rules, trace, rt)
+}
+
+fn bench_profile_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_build");
+    for steps in [10usize, 50, 100] {
+        let (model, rules, trace, rt) = synthetic(steps, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
+            b.iter(|| {
+                build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bottleneck_scan(c: &mut Criterion) {
+    let (model, rules, trace, rt) = synthetic(50, 8);
+    let profile = build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default());
+    c.bench_function("bottleneck_scan_50steps", |b| {
+        b.iter(|| BottleneckReport::build(&trace, &profile, &BottleneckConfig::default()))
+    });
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay");
+    for steps in [10usize, 50, 100] {
+        let (model, _, trace, _) = synthetic(steps, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
+            b.iter(|| replay_original(&model, &trace, &ReplayConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_profile_build,
+    bench_bottleneck_scan,
+    bench_replay
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Scaling sweep: how the bottleneck profile shifts as the cluster grows.
+//!
+//! Not a paper figure — it extends §IV-C along the cluster-size axis. With
+//! a fixed input graph, adding machines shrinks each worker's compute share
+//! while the *fraction* of messages that must cross the network grows
+//! (under hash partitioning, `(M−1)/M` of cross-partition traffic is
+//! machine-remote). Grade10's what-if estimates should show the CPU impact
+//! falling while communication-side impacts (message-queue stalls) emerge —
+//! the classic compute→communication crossover of scaling out a fixed-size
+//! problem.
+
+use grade10_bench::{reduction_for, DEFAULT_DOWNSAMPLE, SLICE_NS};
+use grade10_core::attribution::UpsampleMode;
+use grade10_core::bottleneck::{BottleneckConfig, BottleneckReport};
+use grade10_core::issues::{detect_bottleneck_issues, IssueConfig};
+use grade10_core::replay::ReplayConfig;
+use grade10_core::report::Table;
+use grade10_engines::pregel::PregelConfig;
+use grade10_engines::{run_workload, Algorithm, Dataset, EngineKind, WorkloadSpec};
+
+fn main() {
+    println!("=== Scaling sweep: PageRank on the Giraph-like engine, fixed input ===\n");
+    let mut table = Table::new(&[
+        "machines",
+        "runtime",
+        "cpu impact",
+        "msgq impact",
+        "queue stall (thread-s)",
+        "remote msg fraction",
+    ]);
+
+    for machines in [2usize, 4, 8] {
+        let cfg = PregelConfig {
+            machines,
+            ..Default::default()
+        };
+        let remote_frac = cfg.machine_remote_fraction();
+        let spec = WorkloadSpec {
+            dataset: Dataset::Rmat { scale: 12, seed: 46 },
+            algorithm: Algorithm::PageRank { iterations: 8 },
+            engine: EngineKind::Giraph(cfg),
+        };
+        let run = run_workload(&spec);
+        let profile = run.build_profile(
+            &run.rules_tuned,
+            DEFAULT_DOWNSAMPLE,
+            SLICE_NS,
+            UpsampleMode::DemandGuided,
+        );
+        let report = BottleneckReport::build(&run.trace, &profile, &BottleneckConfig::default());
+        let issues = detect_bottleneck_issues(
+            &run.model,
+            &run.trace,
+            &profile,
+            &report,
+            &ReplayConfig::default(),
+            &IssueConfig {
+                floor_factor: 0.25,
+                min_reduction: 0.0,
+            },
+        );
+        table.row(&[
+            format!("{machines}"),
+            format!("{:.2}s", run.sim.end_time.as_secs_f64()),
+            format!("{:.1}%", 100.0 * reduction_for(&issues, "cpu")),
+            format!("{:.1}%", 100.0 * reduction_for(&issues, "msgq")),
+            format!("{:.1}", run.sim.stats.queue_stall_time.as_secs_f64()),
+            format!("{:.0}%", 100.0 * remote_frac),
+        ]);
+        println!("finished {machines} machines");
+    }
+    println!("\n{}", table.render());
+    println!(
+        "Expected crossover: scaling out a fixed input shifts the limiter from \
+         compute toward communication — CPU impact falls monotonically with machine \
+         count, and message-queue bottlenecks appear once per-worker message \
+         production outruns the fixed per-machine NIC (here between 2 and 4 \
+         machines). At still larger clusters both shares shrink in absolute terms \
+         as the fixed input is spread ever thinner."
+    );
+}

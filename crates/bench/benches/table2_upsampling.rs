@@ -1,0 +1,82 @@
+//! Table II — accuracy of the upsampling process.
+//!
+//! Runs PageRank on both simulated engines with 50 ms ground-truth
+//! monitoring, downsamples the monitoring data by factors 2×–64×
+//! (100 ms – 3200 ms), upsamples it back to 50 ms timeslices with three
+//! configurations — the constant strawman, Grade10 with untuned rules, and
+//! Grade10 with tuned rules — and reports the relative sampling error of
+//! CPU usage against the ground truth, exactly the paper's Table II metric.
+//!
+//! Paper shape to reproduce: the strawman degrades to ~83–99 % error at
+//! 64×; Giraph untuned is comparably poor at 64× (91 %) and tuned improves
+//! markedly (57 % at 64×, ≤ ~19 % at 8×); the fully tuned PowerGraph model
+//! stays lowest (≤ ~15 % even at 64×).
+
+use grade10_bench::{cpu_sampling_error, giraph_config, powergraph_config, GROUND_TRUTH_NS};
+use grade10_core::attribution::UpsampleMode;
+use grade10_core::report::Table;
+use grade10_engines::{run_workload, Algorithm, Dataset, EngineKind, WorkloadSpec};
+
+fn main() {
+    let dataset = Dataset::Rmat { scale: 12, seed: 46 };
+    let algorithm = Algorithm::PageRank { iterations: 8 };
+
+    println!("=== Table II: relative sampling error of CPU usage (%) ===");
+    println!("(PageRank on {}; ground truth at 50 ms)\n", dataset.name());
+
+    let giraph = run_workload(&WorkloadSpec {
+        dataset,
+        algorithm,
+        engine: EngineKind::Giraph(giraph_config()),
+    });
+    let powergraph = run_workload(&WorkloadSpec {
+        dataset,
+        algorithm,
+        engine: EngineKind::PowerGraph(powergraph_config()),
+    });
+
+    let mut table = Table::new(&[
+        "granularity",
+        "ratio",
+        "samples/s/resource",
+        "constant (strawman)",
+        "Giraph untuned",
+        "Giraph tuned",
+        "PowerGraph tuned",
+    ]);
+
+    for factor in [2usize, 4, 8, 16, 32, 64] {
+        let err = |run: &grade10_engines::WorkloadRun,
+                   rules: &grade10_core::model::RuleSet,
+                   mode: UpsampleMode| {
+            let profile = run.build_profile(rules, factor, GROUND_TRUTH_NS, mode);
+            100.0 * cpu_sampling_error(&profile, run.ground_truth())
+        };
+        let strawman = err(&giraph, &giraph.rules_tuned, UpsampleMode::Constant);
+        let untuned = err(&giraph, &giraph.rules_untuned, UpsampleMode::DemandGuided);
+        let tuned = err(&giraph, &giraph.rules_tuned, UpsampleMode::DemandGuided);
+        let pg = err(
+            &powergraph,
+            &powergraph.rules_tuned,
+            UpsampleMode::DemandGuided,
+        );
+        table.row(&[
+            format!("{} ms", 50 * factor),
+            format!("{factor}x"),
+            format!("{:.1}", 1000.0 / (50.0 * factor as f64)),
+            format!("{strawman:.2}"),
+            format!("{untuned:.2}"),
+            format!("{tuned:.2}"),
+            format!("{pg:.2}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Expected shape (paper): errors grow with the ratio; tuned models beat the \
+         strawman and untuned rules at every ratio; the PowerGraph model stays lowest; \
+         the paper recommends <= 8x for a good accuracy/overhead balance. The samples/s \
+         column is the monitoring-overhead side of that trade-off (R4): 8x coarser \
+         monitoring is 8x less data per resource for, with tuned models, a modest \
+         accuracy loss."
+    );
+}

@@ -1,0 +1,169 @@
+//! Structured execution logs emitted by the simulated cluster.
+//!
+//! These records are the "execution logs" of the Grade10 paper (§III-C): a
+//! stream of timestamped phase start/end and blocking start/end events, one
+//! per performance-critical transition, from which Grade10 builds its
+//! execution trace. The schema is engine-agnostic — the engines decide which
+//! phases exist; the cluster just stamps the transitions it is told about
+//! plus the blocking events it detects itself (GC pauses, full queues,
+//! barrier waits).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// One segment of a hierarchical phase path: a phase-type name and an
+/// instance key (0 when the phase occurs once within its parent).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathSeg {
+    /// Phase-type name, matching the execution model.
+    pub phase_type: String,
+    /// Instance key (0 when the phase occurs once within its parent).
+    pub instance: u32,
+}
+
+impl PathSeg {
+    /// Creates a segment.
+    pub fn new(phase_type: impl Into<String>, instance: u32) -> Self {
+        PathSeg {
+            phase_type: phase_type.into(),
+            instance,
+        }
+    }
+}
+
+/// A hierarchical phase path, e.g. `job.execute.superstep[3].worker[2].compute.thread[5]`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct PhasePath(pub Vec<PathSeg>);
+
+impl PhasePath {
+    /// The empty (root) path.
+    pub fn root() -> Self {
+        PhasePath(Vec::new())
+    }
+
+    /// Returns this path extended with one more segment.
+    pub fn child(&self, phase_type: impl Into<String>, instance: u32) -> Self {
+        let mut segs = self.0.clone();
+        segs.push(PathSeg::new(phase_type, instance));
+        PhasePath(segs)
+    }
+
+    /// Number of segments.
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The path without its last segment (`None` for the root).
+    pub fn parent(&self) -> Option<PhasePath> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(PhasePath(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// The last segment's phase-type name (empty string for the root).
+    pub fn leaf_type(&self) -> &str {
+        self.0.last().map(|s| s.phase_type.as_str()).unwrap_or("")
+    }
+}
+
+impl fmt::Display for PhasePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, seg) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            if seg.instance == 0 {
+                write!(f, "{}", seg.phase_type)?;
+            } else {
+                write!(f, "{}[{}]", seg.phase_type, seg.instance)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The event kinds a log record can carry.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LogEvent {
+    /// A phase began on this (machine, thread).
+    /// A phase began on this (machine, thread).
+    PhaseStart {
+        /// Full instance path of the phase.
+        path: PhasePath,
+    },
+    /// A phase ended.
+    /// A phase ended.
+    PhaseEnd {
+        /// Full instance path of the phase.
+        path: PhasePath,
+    },
+    /// The thread became blocked on a blocking resource (e.g. "gc", "msgq",
+    /// "barrier").
+    /// The thread blocked on a blocking resource.
+    BlockStart {
+        /// Blocking resource name.
+        resource: String,
+    },
+    /// The thread resumed.
+    /// The thread resumed.
+    BlockEnd {
+        /// Blocking resource name.
+        resource: String,
+    },
+}
+
+/// A timestamped log record. `thread` is a machine-local thread index.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Simulated timestamp of the event.
+    pub time: SimTime,
+    /// Machine the event occurred on.
+    pub machine: u16,
+    /// Machine-local thread index.
+    pub thread: u16,
+    /// What happened.
+    pub event: LogEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_display_elides_zero_instances() {
+        let p = PhasePath::root()
+            .child("job", 0)
+            .child("superstep", 3)
+            .child("compute", 0);
+        assert_eq!(p.to_string(), "job.superstep[3].compute");
+    }
+
+    #[test]
+    fn parent_and_leaf() {
+        let p = PhasePath::root().child("a", 0).child("b", 2);
+        assert_eq!(p.leaf_type(), "b");
+        assert_eq!(p.parent().unwrap().to_string(), "a");
+        assert_eq!(PhasePath::root().parent(), None);
+        assert_eq!(PhasePath::root().leaf_type(), "");
+    }
+
+    #[test]
+    fn records_serialize_round_trip() {
+        let rec = LogRecord {
+            time: SimTime(123),
+            machine: 1,
+            thread: 2,
+            event: LogEvent::BlockStart {
+                resource: "gc".into(),
+            },
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: LogRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(rec, back);
+    }
+}

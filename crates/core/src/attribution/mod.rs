@@ -1,0 +1,28 @@
+//! Resource attribution (§III-D): the paper's core mechanism.
+//!
+//! Three steps, run per resource instance:
+//!
+//! 1. **Demand estimation** ([`demand`]) — per timeslice, sum the demands of
+//!    active phases: `Exact` rules contribute known absolute demand,
+//!    `Variable` rules contribute relative weights.
+//! 2. **Upsampling** ([`upsample`]) — split each coarse monitoring
+//!    measurement over its timeslices: first proportionally to known demand
+//!    (never exceeding demand or capacity), then the remainder
+//!    proportionally to variable demand, then any residue proportionally to
+//!    free capacity.
+//! 3. **Attribution** ([`attribute`]) — within each timeslice, give `Exact`
+//!    phases up to their demand and distribute the rest over `Variable`
+//!    phases by weight.
+//!
+//! The result is the fine-grained, per-phase, per-resource, per-timeslice
+//! [`PerformanceProfile`] that bottleneck and issue detection consume.
+
+pub mod attribute;
+pub mod demand;
+pub mod profile;
+pub mod upsample;
+
+pub use profile::{
+    build_profile, InstanceUsage, Parallelism, PerformanceProfile, ProfileConfig, UpsampleMode,
+};
+pub use upsample::relative_sampling_error;

@@ -1,0 +1,543 @@
+//! The fine-grained performance profile: output of the attribution pipeline.
+
+use std::collections::HashMap;
+
+use crate::attribution::attribute::attribute;
+use crate::attribution::demand::estimate_demand;
+use crate::attribution::upsample::{upsample_constant, upsample_measurement};
+use crate::model::execution::ExecutionModel;
+use crate::model::rules::{AttributionRule, RuleSet};
+use crate::trace::execution::{ExecutionTrace, InstanceId};
+use crate::trace::resource::{ResourceIdx, ResourceInstance, ResourceTrace};
+use crate::trace::timeslice::{Nanos, TimesliceGrid, MILLIS};
+
+/// How coarse measurements are upsampled to timeslices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpsampleMode {
+    /// Grade10's demand-guided upsampling (§III-D2).
+    DemandGuided,
+    /// The strawman: constant usage over each measurement window.
+    Constant,
+}
+
+/// Threading of the per-resource upsampling stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Parallelize when the input is large enough to amortize the spawns.
+    #[default]
+    Auto,
+    /// Always single-threaded.
+    Never,
+    /// Always parallel (mostly for tests pinning determinism).
+    Always,
+}
+
+/// Configuration of a profile build.
+#[derive(Clone, Debug)]
+pub struct ProfileConfig {
+    /// Timeslice duration in nanoseconds (paper default: 10 ms).
+    pub slice: Nanos,
+    /// Upsampling strategy for coarse measurements.
+    pub upsample: UpsampleMode,
+    /// Threading of the upsampling stage; the result is bit-identical
+    /// either way.
+    pub parallelism: Parallelism,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            slice: 10 * MILLIS,
+            upsample: UpsampleMode::DemandGuided,
+            parallelism: Parallelism::Auto,
+        }
+    }
+}
+
+/// Attributed usage of one (leaf instance, resource instance) pair.
+#[derive(Clone, Debug)]
+pub struct InstanceUsage {
+    /// The phase instance.
+    pub instance: InstanceId,
+    /// The resource instance.
+    pub resource: ResourceIdx,
+    /// The rule that governed this pair.
+    pub rule: AttributionRule,
+    /// Slice index of `usage[0]` / `demand[0]`.
+    pub first_slice: usize,
+    /// Absolute demand per slice for `Exact` rules; weight × active
+    /// fraction for `Variable` rules.
+    pub demand: Vec<f64>,
+    /// Attributed absolute usage per slice.
+    pub usage: Vec<f64>,
+}
+
+impl InstanceUsage {
+    /// Usage in slice `s` (global index), zero outside the phase's range.
+    pub fn usage_at(&self, s: usize) -> f64 {
+        if s < self.first_slice || s >= self.first_slice + self.usage.len() {
+            0.0
+        } else {
+            self.usage[s - self.first_slice]
+        }
+    }
+
+    /// Demand in slice `s` (global index).
+    pub fn demand_at(&self, s: usize) -> f64 {
+        if s < self.first_slice || s >= self.first_slice + self.demand.len() {
+            0.0
+        } else {
+            self.demand[s - self.first_slice]
+        }
+    }
+}
+
+/// The 3-D performance profile: per phase instance, per resource instance,
+/// per timeslice (§III-D, Figure 2(f)).
+pub struct PerformanceProfile {
+    /// The timeslice grid all arrays are indexed by.
+    pub grid: TimesliceGrid,
+    /// The monitored resource instances (row index = `ResourceIdx`).
+    pub resources: Vec<ResourceInstance>,
+    /// Upsampled consumption: `[resource][slice]`, absolute units.
+    pub consumption: Vec<Vec<f64>>,
+    /// Known (Exact) demand totals: `[resource][slice]`.
+    pub demand_exact: Vec<Vec<f64>>,
+    /// Variable demand weight totals: `[resource][slice]`.
+    pub demand_variable: Vec<Vec<f64>>,
+    /// Consumption not attributable to any modeled phase.
+    pub unattributed: Vec<Vec<f64>>,
+    /// Measured consumption that exceeded capacity and was dropped, per
+    /// resource, in unit-seconds (non-zero values indicate a mis-specified
+    /// capacity).
+    pub overflow: Vec<f64>,
+    /// Per-(leaf instance, resource) usage and demand.
+    pub usages: Vec<InstanceUsage>,
+    index: HashMap<(InstanceId, ResourceIdx), usize>,
+}
+
+impl PerformanceProfile {
+    /// Usage record of one (instance, resource) pair, if the instance
+    /// participates in that resource.
+    pub fn usage_of(&self, instance: InstanceId, resource: ResourceIdx) -> Option<&InstanceUsage> {
+        self.index.get(&(instance, resource)).map(|&i| &self.usages[i])
+    }
+
+    /// Total attributed consumption (unit-seconds) of one instance on one
+    /// resource.
+    pub fn total_usage(&self, instance: InstanceId, resource: ResourceIdx) -> f64 {
+        self.usage_of(instance, resource)
+            .map(|u| u.usage.iter().sum::<f64>() * self.grid.slice_secs())
+            .unwrap_or(0.0)
+    }
+
+    /// Attributed usage of an instance *including all descendants* on one
+    /// resource, per slice over the whole grid. This is how container
+    /// phases (e.g. a worker's whole Compute phase) report usage: as the
+    /// sum of their leaves.
+    pub fn aggregate_usage(
+        &self,
+        trace: &ExecutionTrace,
+        root: InstanceId,
+        resource: ResourceIdx,
+    ) -> Vec<f64> {
+        let mut out = vec![0.0; self.grid.num_slices()];
+        self.visit_leaves(trace, root, &mut |id| {
+            if let Some(u) = self.usage_of(id, resource) {
+                for (k, &v) in u.usage.iter().enumerate() {
+                    out[u.first_slice + k] += v;
+                }
+            }
+        });
+        out
+    }
+
+    /// Same as [`aggregate_usage`](Self::aggregate_usage) but for demand
+    /// (Exact absolute demand + Variable weights are reported separately).
+    pub fn aggregate_demand(
+        &self,
+        trace: &ExecutionTrace,
+        root: InstanceId,
+        resource: ResourceIdx,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let ns = self.grid.num_slices();
+        let (mut exact, mut var) = (vec![0.0; ns], vec![0.0; ns]);
+        self.visit_leaves(trace, root, &mut |id| {
+            if let Some(u) = self.usage_of(id, resource) {
+                let dst = match u.rule {
+                    AttributionRule::Exact(_) => &mut exact,
+                    _ => &mut var,
+                };
+                for (k, &v) in u.demand.iter().enumerate() {
+                    dst[u.first_slice + k] += v;
+                }
+            }
+        });
+        (exact, var)
+    }
+
+    fn visit_leaves(
+        &self,
+        trace: &ExecutionTrace,
+        root: InstanceId,
+        f: &mut impl FnMut(InstanceId),
+    ) {
+        if trace.is_leaf(root) {
+            f(root);
+            return;
+        }
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if trace.is_leaf(id) {
+                f(id);
+            } else {
+                stack.extend_from_slice(trace.children_of(id));
+            }
+        }
+    }
+
+    /// Utilization fraction (0..1) of a resource in a slice.
+    pub fn utilization(&self, resource: ResourceIdx, slice: usize) -> f64 {
+        let cap = self.resources[resource.0 as usize].capacity;
+        self.consumption[resource.0 as usize][slice] / cap
+    }
+}
+
+/// Runs the full attribution pipeline (§III-D): demand estimation,
+/// upsampling, attribution.
+pub fn build_profile(
+    model: &ExecutionModel,
+    rules: &RuleSet,
+    trace: &ExecutionTrace,
+    resources: &ResourceTrace,
+    cfg: &ProfileConfig,
+) -> PerformanceProfile {
+    let end = trace.makespan_end().max(resources.end()).max(cfg.slice);
+    let grid = TimesliceGrid::covering(0, end, cfg.slice);
+    let ns = grid.num_slices();
+    let nr = resources.instances().len();
+
+    let dm = estimate_demand(model, rules, trace, resources, &grid);
+
+    // Upsampling is independent per resource instance; fan the rows out
+    // over a small crossbeam scope when there is enough work to amortize
+    // the thread spawns. Results are written into disjoint row slices, so
+    // the parallel and sequential paths are bit-identical.
+    let mut consumption = vec![vec![0.0; ns]; nr];
+    let mut overflow = vec![0.0; nr];
+    let upsample_row = |r: usize, row: &mut Vec<f64>| -> f64 {
+        let cap = resources.instances()[r].capacity;
+        let mut over = 0.0;
+        for m in resources.measurements(ResourceIdx(r as u32)) {
+            match cfg.upsample {
+                UpsampleMode::DemandGuided => {
+                    // `upsample_measurement` reports its residue in
+                    // units x slices; normalize to unit-seconds so overflow
+                    // is directly comparable with total consumption.
+                    over += upsample_measurement(
+                        m,
+                        &grid,
+                        &dm.exact[r],
+                        &dm.variable[r],
+                        cap,
+                        row,
+                    ) * grid.slice_secs();
+                }
+                UpsampleMode::Constant => {
+                    upsample_constant(m, &grid, row);
+                }
+            }
+        }
+        over
+    };
+    let parallel_worthwhile = match cfg.parallelism {
+        Parallelism::Never => false,
+        Parallelism::Always => nr > 1,
+        Parallelism::Auto => nr >= 4 && (ns * nr) >= 64 * 1024,
+    };
+    if parallel_worthwhile {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(nr);
+        crossbeam::thread::scope(|scope| {
+            let mut rows: Vec<(usize, &mut Vec<f64>, &mut f64)> = consumption
+                .iter_mut()
+                .zip(overflow.iter_mut())
+                .enumerate()
+                .map(|(r, (row, over))| (r, row, over))
+                .collect();
+            let chunk = rows.len().div_ceil(threads);
+            let mut work: Vec<Vec<(usize, &mut Vec<f64>, &mut f64)>> = Vec::new();
+            while !rows.is_empty() {
+                let take = chunk.min(rows.len());
+                work.push(rows.drain(..take).collect());
+            }
+            for batch in work {
+                let upsample_row = &upsample_row;
+                scope.spawn(move |_| {
+                    for (r, row, over) in batch {
+                        *over = upsample_row(r, row);
+                    }
+                });
+            }
+        })
+        .expect("upsampling worker panicked");
+    } else {
+        for (r, (row, over)) in consumption.iter_mut().zip(overflow.iter_mut()).enumerate() {
+            *over = upsample_row(r, row);
+        }
+    }
+
+    let att = attribute(&dm, &consumption);
+
+    let mut usages = Vec::with_capacity(dm.participants.len());
+    let mut index = HashMap::with_capacity(dm.participants.len());
+    for (pi, p) in dm.participants.into_iter().enumerate() {
+        index.insert((p.instance, p.resource), pi);
+        usages.push(InstanceUsage {
+            instance: p.instance,
+            resource: p.resource,
+            rule: p.rule,
+            first_slice: p.first_slice,
+            demand: p.demand,
+            usage: att.usage[pi].clone(),
+        });
+    }
+
+    PerformanceProfile {
+        grid,
+        resources: resources.instances().to_vec(),
+        consumption,
+        demand_exact: dm.exact,
+        demand_variable: dm.variable,
+        unattributed: att.unattributed,
+        overflow,
+        usages,
+        index,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::execution::{ExecutionModelBuilder, Repeat};
+    use crate::trace::execution::TraceBuilder;
+    use crate::trace::resource::ResourceInstance;
+
+    /// Builds the complete Figure 2 scenario: phases P1..P4, resources
+    /// R1..R3 with the rule matrix of Figure 2(b), the execution trace of
+    /// Figure 2(a), and the monitoring data of Figure 2(d). Slices are
+    /// 10 ms; the figure's timeslices 1..6 map to indices 0..5.
+    pub(crate) fn figure2() -> (
+        ExecutionModel,
+        RuleSet,
+        ExecutionTrace,
+        ResourceTrace,
+    ) {
+        let mut b = ExecutionModelBuilder::new("job");
+        let r = b.root();
+        let p1 = b.child(r, "P1", Repeat::Once);
+        let p2 = b.child(r, "P2", Repeat::Once);
+        let p3 = b.child(r, "P3", Repeat::Once);
+        let p4 = b.child(r, "P4", Repeat::Once);
+        let model = b.build();
+
+        // Rule matrix (Figure 2b):
+        //        P1      P2      P3       P4
+        // R1     x(1)    2x      -        -
+        // R2     -       y(1)    50%      -
+        // R3     -       80%     z(1)     z(1)
+        let rules = RuleSet::new()
+            .with_default(AttributionRule::None)
+            .rule(p1, "R1", AttributionRule::Variable(1.0))
+            .rule(p2, "R1", AttributionRule::Variable(2.0))
+            .rule(p2, "R2", AttributionRule::Variable(1.0))
+            .rule(p3, "R2", AttributionRule::Exact(0.5))
+            .rule(p2, "R3", AttributionRule::Exact(0.8))
+            .rule(p3, "R3", AttributionRule::Variable(1.0))
+            .rule(p4, "R3", AttributionRule::Variable(1.0));
+
+        // Execution trace (Figure 2a): timeslices are 10 ms; measurement
+        // windows cover two slices each ([0,2), [2,4), [4,6)).
+        // P1: slices 0-1, P2: slices 2-3, P3: slices 3-4, P4: slices 4-5,
+        // so window [2,4) sees P2's variable demand in both slices and
+        // P3's Exact 50 % only in slice 3 — the paper's worked example.
+        let ms = MILLIS;
+        let mut tb = TraceBuilder::new(&model);
+        tb.add_phase(&[("job", 0)], 0, 60 * ms, None, None).unwrap();
+        tb.add_phase(&[("job", 0), ("P1", 0)], 0, 20 * ms, Some(0), Some(0))
+            .unwrap();
+        tb.add_phase(&[("job", 0), ("P2", 0)], 20 * ms, 40 * ms, Some(0), Some(1))
+            .unwrap();
+        tb.add_phase(&[("job", 0), ("P3", 0)], 30 * ms, 50 * ms, Some(0), Some(2))
+            .unwrap();
+        tb.add_phase(&[("job", 0), ("P4", 0)], 40 * ms, 60 * ms, Some(0), Some(3))
+            .unwrap();
+        let trace = tb.build().unwrap();
+
+        // Resource trace (Figure 2d): measurements over 2-slice quanta, in
+        // percent (capacity 100).
+        let mut rt = ResourceTrace::new();
+        let r1 = rt.add_resource(ResourceInstance {
+            kind: "R1".into(),
+            machine: Some(0),
+            capacity: 100.0,
+        });
+        let r2 = rt.add_resource(ResourceInstance {
+            kind: "R2".into(),
+            machine: Some(0),
+            capacity: 100.0,
+        });
+        let r3 = rt.add_resource(ResourceInstance {
+            kind: "R3".into(),
+            machine: Some(0),
+            capacity: 100.0,
+        });
+        rt.add_series(r1, 0, 20 * ms, &[60.0, 85.0, 30.0]);
+        rt.add_series(r2, 0, 20 * ms, &[0.0, 40.0, 20.0]);
+        rt.add_series(r3, 0, 20 * ms, &[40.0, 90.0, 50.0]);
+        (model, rules, trace, rt)
+    }
+
+    fn inst(trace: &ExecutionTrace, model: &ExecutionModel, name: &str) -> InstanceId {
+        let ty = model.find_by_name(name).unwrap();
+        trace.instances_of_type(ty).next().unwrap().id
+    }
+
+    #[test]
+    fn figure2_r2_upsampling_and_attribution() {
+        let (model, rules, trace, rt) = figure2();
+        let prof = build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default());
+        let r2 = rt.find("R2", Some(0)).unwrap();
+        // Upsampled R2 (paper text): the 40 % measurement over the window
+        // splits into 15 % (first slice, variable demand only) and 65 %
+        // (second slice, 50 % Exact + variable) — indices 2 and 3 here.
+        let c = &prof.consumption[r2.0 as usize];
+        assert!((c[2] - 15.0).abs() < 1e-6, "first window slice = {}", c[2]);
+        assert!((c[3] - 65.0).abs() < 1e-6, "second window slice = {}", c[3]);
+        // Attribution in that slice: P3 gets its Exact 50, P2 the variable
+        // remainder of 15 (Figure 2f).
+        let p2 = inst(&trace, &model, "P2");
+        let p3 = inst(&trace, &model, "P3");
+        let u2 = prof.usage_of(p2, r2).unwrap();
+        let u3 = prof.usage_of(p3, r2).unwrap();
+        assert!((u3.usage_at(3) - 50.0).abs() < 1e-6, "P3 {}", u3.usage_at(3));
+        assert!((u2.usage_at(3) - 15.0).abs() < 1e-6, "P2 {}", u2.usage_at(3));
+    }
+
+    #[test]
+    fn figure2_conservation_everywhere() {
+        let (model, rules, trace, rt) = figure2();
+        let prof = build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default());
+        // Upsampling conserves each measurement's total; attribution +
+        // unattributed conserves each slice's consumption.
+        for r in 0..3usize {
+            let measured: f64 = rt.total_consumption(ResourceIdx(r as u32));
+            let upsampled: f64 =
+                prof.consumption[r].iter().sum::<f64>() * prof.grid.slice_secs();
+            assert!(
+                (measured - upsampled).abs() < 1e-6,
+                "resource {r}: measured {measured} vs upsampled {upsampled}"
+            );
+            for s in 0..prof.grid.num_slices() {
+                let attributed: f64 = prof
+                    .usages
+                    .iter()
+                    .filter(|u| u.resource.0 as usize == r)
+                    .map(|u| u.usage_at(s))
+                    .sum();
+                let total = attributed + prof.unattributed[r][s];
+                assert!(
+                    (total - prof.consumption[r][s]).abs() < 1e-6,
+                    "resource {r} slice {s}: {total} vs {}",
+                    prof.consumption[r][s]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_p2_exact_limit_on_r3() {
+        // Figure 2(e)/§III-E: P2 uses its full 80 % Exact demand of R3
+        // even though R3 is not saturated in that slice.
+        let (model, rules, trace, rt) = figure2();
+        let prof = build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default());
+        let r3 = rt.find("R3", Some(0)).unwrap();
+        let p2 = inst(&trace, &model, "P2");
+        let u = prof.usage_of(p2, r3).unwrap();
+        assert!((u.usage_at(2) - 80.0).abs() < 1e-6, "P2@R3 = {}", u.usage_at(2));
+        assert!((u.demand_at(2) - 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aggregate_usage_sums_children() {
+        let (model, rules, trace, rt) = figure2();
+        let prof = build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default());
+        let r1 = rt.find("R1", Some(0)).unwrap();
+        let job = InstanceId(0); // root added first
+        let agg = prof.aggregate_usage(&trace, job, r1);
+        // Root aggregate equals total consumption minus unattributed.
+        for s in 0..prof.grid.num_slices() {
+            let expect = prof.consumption[r1.0 as usize][s] - prof.unattributed[r1.0 as usize][s];
+            assert!((agg[s] - expect).abs() < 1e-6, "slice {s}");
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_upsampling_agree_exactly() {
+        let (model, rules, trace, rt) = figure2();
+        let seq = build_profile(
+            &model,
+            &rules,
+            &trace,
+            &rt,
+            &ProfileConfig {
+                parallelism: Parallelism::Never,
+                ..Default::default()
+            },
+        );
+        let par = build_profile(
+            &model,
+            &rules,
+            &trace,
+            &rt,
+            &ProfileConfig {
+                parallelism: Parallelism::Always,
+                ..Default::default()
+            },
+        );
+        assert_eq!(seq.consumption, par.consumption);
+        assert_eq!(seq.overflow, par.overflow);
+        for (a, b) in seq.usages.iter().zip(&par.usages) {
+            assert_eq!(a.usage, b.usage);
+        }
+    }
+
+    #[test]
+    fn constant_mode_flattens() {
+        let (model, rules, trace, rt) = figure2();
+        let cfg = ProfileConfig {
+            upsample: UpsampleMode::Constant,
+            ..Default::default()
+        };
+        let prof = build_profile(&model, &rules, &trace, &rt, &cfg);
+        let r1 = rt.find("R1", Some(0)).unwrap().0 as usize;
+        // Constant mode: both slices of each window carry the average.
+        assert_eq!(prof.consumption[r1][0], prof.consumption[r1][1]);
+        assert_eq!(prof.consumption[r1][2], prof.consumption[r1][3]);
+    }
+
+    #[test]
+    fn total_usage_in_unit_seconds() {
+        let (model, rules, trace, rt) = figure2();
+        let prof = build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default());
+        let r3 = rt.find("R3", Some(0)).unwrap();
+        let p2 = inst(&trace, &model, "P2");
+        let t = prof.total_usage(p2, r3);
+        assert!(t > 0.0);
+        // Missing pairs report zero.
+        let p1 = inst(&trace, &model, "P1");
+        assert_eq!(prof.total_usage(p1, r3), 0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Step 2 of resource attribution: upsampling coarse measurements to
+//! timeslice granularity (§III-D2).
+//!
+//! Each measurement reports the *average* usage over a multi-slice window.
+//! The measured total is split over the window's slices by superimposing the
+//! estimated demand: first proportionally to known (Exact) demand without
+//! exceeding demand or capacity, then the remainder proportionally to
+//! variable demand capped by capacity, then any residue proportionally to
+//! remaining capacity. Anything that still cannot be placed (measurement
+//! exceeding capacity × window) is reported back as overflow.
+
+use crate::trace::resource::Measurement;
+use crate::trace::timeslice::TimesliceGrid;
+
+/// Distributes `amount` over `out` proportionally to `weights`, never
+/// pushing `out[i]` above `caps[i]`. Returns the undistributable remainder.
+/// Exact water-filling: at most `n` rounds, each freezing one capped slot.
+pub fn waterfill(weights: &[f64], caps: &[f64], amount: f64, out: &mut [f64]) -> f64 {
+    debug_assert_eq!(weights.len(), caps.len());
+    debug_assert_eq!(weights.len(), out.len());
+    let mut remaining = amount;
+    let mut active: Vec<usize> = (0..weights.len())
+        .filter(|&i| weights[i] > 0.0 && out[i] < caps[i])
+        .collect();
+    while remaining > 1e-12 && !active.is_empty() {
+        let wsum: f64 = active.iter().map(|&i| weights[i]).sum();
+        if wsum <= 0.0 {
+            break;
+        }
+        // Largest uniform scale before some slot hits its cap.
+        let mut scale = remaining / wsum;
+        for &i in &active {
+            let headroom = caps[i] - out[i];
+            scale = scale.min(headroom / weights[i]);
+        }
+        if scale <= 0.0 {
+            // All remaining slots are at cap within epsilon.
+            active.retain(|&i| caps[i] - out[i] > 1e-12);
+            if active.is_empty() {
+                break;
+            }
+            continue;
+        }
+        for &i in &active {
+            out[i] += scale * weights[i];
+        }
+        remaining -= scale * wsum;
+        active.retain(|&i| caps[i] - out[i] > 1e-12);
+    }
+    remaining.max(0.0)
+}
+
+/// Upsamples one measurement into per-slice usage, writing into
+/// `out[ws..we]` (slice indices of the window). `exact` and `variable` are
+/// the demand rows of this resource over all slices. Returns the overflow
+/// that could not be placed under `capacity`.
+pub fn upsample_measurement(
+    m: &Measurement,
+    grid: &TimesliceGrid,
+    exact: &[f64],
+    variable: &[f64],
+    capacity: f64,
+    out: &mut [f64],
+) -> f64 {
+    let ws = grid.snap(m.start);
+    let we = grid.snap(m.end).max(ws + 1).min(grid.num_slices());
+    let n = we - ws;
+    let total = m.avg * n as f64; // in (units × slices)
+
+    // Step 1: proportional to known demand, capped by min(demand, capacity).
+    let targets: Vec<f64> = (ws..we).map(|s| exact[s].min(capacity)).collect();
+    let tsum: f64 = targets.iter().sum();
+    let mut x = vec![0.0; n];
+    let mut rem = total;
+    if tsum > 0.0 {
+        let placed = total.min(tsum);
+        for i in 0..n {
+            x[i] = placed * targets[i] / tsum;
+        }
+        rem = total - placed;
+    }
+
+    // Step 2: remainder proportional to variable demand, capped by capacity.
+    if rem > 1e-12 {
+        let weights: Vec<f64> = (ws..we).map(|s| variable[s]).collect();
+        let caps = vec![capacity; n];
+        rem = waterfill(&weights, &caps, rem, &mut x);
+    }
+
+    // Step 3: residue proportional to remaining headroom (covers system
+    // activity no modeled phase demanded).
+    if rem > 1e-12 {
+        let headroom: Vec<f64> = x.iter().map(|&v| (capacity - v).max(0.0)).collect();
+        let caps = vec![capacity; n];
+        rem = waterfill(&headroom, &caps, rem, &mut x);
+    }
+
+    out[ws..we].copy_from_slice(&x);
+    rem
+}
+
+/// The strawman the paper compares against: assume constant usage over the
+/// measurement window.
+pub fn upsample_constant(m: &Measurement, grid: &TimesliceGrid, out: &mut [f64]) {
+    let ws = grid.snap(m.start);
+    let we = grid.snap(m.end).max(ws + 1).min(grid.num_slices());
+    for slot in &mut out[ws..we] {
+        *slot = m.avg;
+    }
+}
+
+/// The paper's Table II metric: sum of absolute differences between the
+/// upsampled series and the ground truth, as a fraction of total ground
+/// truth consumption. Both series must share the same granularity.
+pub fn relative_sampling_error(upsampled: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(
+        upsampled.len(),
+        truth.len(),
+        "series lengths differ: {} vs {}",
+        upsampled.len(),
+        truth.len()
+    );
+    let total: f64 = truth.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let abs_diff: f64 = upsampled
+        .iter()
+        .zip(truth)
+        .map(|(u, t)| (u - t).abs())
+        .sum();
+    abs_diff / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::timeslice::MILLIS;
+
+    fn grid(n: usize) -> TimesliceGrid {
+        TimesliceGrid::covering(0, n as u64 * 10 * MILLIS, 10 * MILLIS)
+    }
+
+    #[test]
+    fn waterfill_proportional_within_caps() {
+        let mut out = vec![0.0; 3];
+        let left = waterfill(&[1.0, 2.0, 1.0], &[10.0, 10.0, 10.0], 8.0, &mut out);
+        assert!(left < 1e-12);
+        assert!((out[0] - 2.0).abs() < 1e-9);
+        assert!((out[1] - 4.0).abs() < 1e-9);
+        assert!((out[2] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waterfill_respects_caps_and_returns_leftover() {
+        let mut out = vec![0.0; 2];
+        let left = waterfill(&[1.0, 1.0], &[1.0, 2.0], 5.0, &mut out);
+        assert!((out[0] - 1.0).abs() < 1e-9);
+        assert!((out[1] - 2.0).abs() < 1e-9);
+        assert!((left - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waterfill_zero_weights_distribute_nothing() {
+        let mut out = vec![0.0; 2];
+        let left = waterfill(&[0.0, 0.0], &[5.0, 5.0], 3.0, &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+        assert!((left - 3.0).abs() < 1e-12);
+    }
+
+    /// The worked example of Figure 2: resource R2, timeslices 2–3
+    /// (0-indexed 1 and 2 here), measured at 40 % over two slices; exact
+    /// demand 50 % in the second slice only, variable weight 1 in both.
+    #[test]
+    fn figure2_r2_example() {
+        let g = grid(2);
+        let exact = vec![0.0, 50.0];
+        let variable = vec![1.0, 1.0];
+        let m = Measurement {
+            start: 0,
+            end: 20 * MILLIS,
+            avg: 40.0,
+        };
+        let mut out = vec![0.0; 2];
+        let overflow = upsample_measurement(&m, &g, &exact, &variable, 100.0, &mut out);
+        assert!(overflow < 1e-9);
+        assert!((out[0] - 15.0).abs() < 1e-9, "slice 2 should be 15%, got {}", out[0]);
+        assert!((out[1] - 65.0).abs() < 1e-9, "slice 3 should be 65%, got {}", out[1]);
+    }
+
+    #[test]
+    fn conservation_of_total() {
+        let g = grid(4);
+        let exact = vec![1.0, 0.0, 2.0, 0.5];
+        let variable = vec![0.0, 3.0, 1.0, 0.0];
+        let m = Measurement {
+            start: 0,
+            end: 40 * MILLIS,
+            avg: 2.0,
+        };
+        let mut out = vec![0.0; 4];
+        let overflow = upsample_measurement(&m, &g, &exact, &variable, 4.0, &mut out);
+        let placed: f64 = out.iter().sum();
+        assert!((placed + overflow - 8.0).abs() < 1e-9);
+        assert!(out.iter().all(|&v| v <= 4.0 + 1e-9));
+    }
+
+    #[test]
+    fn no_demand_spreads_by_headroom() {
+        let g = grid(2);
+        let m = Measurement {
+            start: 0,
+            end: 20 * MILLIS,
+            avg: 3.0,
+        };
+        let mut out = vec![0.0; 2];
+        let overflow =
+            upsample_measurement(&m, &g, &[0.0, 0.0], &[0.0, 0.0], 4.0, &mut out);
+        assert!(overflow < 1e-9);
+        // Uniform headroom: spread evenly (matches the constant strawman
+        // when the model knows nothing).
+        assert!((out[0] - 3.0).abs() < 1e-9);
+        assert!((out[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn over_capacity_measurement_reports_overflow() {
+        let g = grid(2);
+        let m = Measurement {
+            start: 0,
+            end: 20 * MILLIS,
+            avg: 5.0, // above the capacity of 4
+        };
+        let mut out = vec![0.0; 2];
+        let overflow =
+            upsample_measurement(&m, &g, &[0.0, 0.0], &[1.0, 1.0], 4.0, &mut out);
+        assert!((overflow - 2.0).abs() < 1e-9);
+        assert!((out[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_demand_concentrates_usage() {
+        // All demand sits in slice 0; the measurement should follow it.
+        let g = grid(4);
+        let m = Measurement {
+            start: 0,
+            end: 40 * MILLIS,
+            avg: 0.5,
+        };
+        let mut out = vec![0.0; 4];
+        upsample_measurement(&m, &g, &[2.0, 0.0, 0.0, 0.0], &[0.0; 4], 4.0, &mut out);
+        assert!((out[0] - 2.0).abs() < 1e-9);
+        assert!(out[1..].iter().all(|&v| v < 1e-9));
+    }
+
+    #[test]
+    fn constant_strawman_is_flat() {
+        let g = grid(3);
+        let m = Measurement {
+            start: 0,
+            end: 30 * MILLIS,
+            avg: 1.5,
+        };
+        let mut out = vec![0.0; 3];
+        upsample_constant(&m, &g, &mut out);
+        assert_eq!(out, vec![1.5, 1.5, 1.5]);
+    }
+
+    #[test]
+    fn error_metric_basics() {
+        assert_eq!(relative_sampling_error(&[1.0, 1.0], &[1.0, 1.0]), 0.0);
+        assert!((relative_sampling_error(&[2.0, 0.0], &[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(relative_sampling_error(&[5.0], &[0.0]), 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Consumable-resource bottlenecks (§III-E).
+//!
+//! Two situations produce one:
+//!
+//! * **Saturation** — the resource is at (approximately) full utilization
+//!   for an extended period; every active phase depending on it is
+//!   bottlenecked.
+//! * **Exact-limit** — a phase with an `Exact` rule consumes as much as its
+//!   own demand ceiling allows, even though the resource has headroom.
+//!   The paper calls this out as the least understood case: the phase would
+//!   go faster if it were *configured* to use more, not if the machine had
+//!   more.
+
+use crate::attribution::{InstanceUsage, PerformanceProfile};
+use crate::model::rules::AttributionRule;
+use crate::trace::execution::InstanceId;
+use crate::trace::resource::ResourceIdx;
+
+/// Why a phase/resource pair is bottlenecked in a slice range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BottleneckCause {
+    /// The resource itself was saturated.
+    Saturation,
+    /// The phase hit its own Exact demand ceiling.
+    ExactLimit,
+}
+
+/// Detection thresholds.
+#[derive(Clone, Debug)]
+pub struct BottleneckConfig {
+    /// Utilization fraction at or above which a resource counts as
+    /// saturated.
+    pub saturation_fraction: f64,
+    /// Minimum consecutive saturated slices before saturation counts as a
+    /// bottleneck ("extended periods" in the paper).
+    pub min_saturation_slices: usize,
+    /// Fraction of a phase's Exact demand that its usage must reach to
+    /// count as an exact-limit bottleneck.
+    pub exact_limit_fraction: f64,
+}
+
+impl Default for BottleneckConfig {
+    fn default() -> Self {
+        BottleneckConfig {
+            saturation_fraction: 0.97,
+            min_saturation_slices: 2,
+            exact_limit_fraction: 0.97,
+        }
+    }
+}
+
+/// A contiguous range of bottlenecked slices for one (phase, resource).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConsumableBottleneck {
+    /// The bottlenecked phase instance.
+    pub instance: InstanceId,
+    /// The limiting resource instance.
+    pub resource: ResourceIdx,
+    /// Saturation or exact-limit.
+    pub cause: BottleneckCause,
+    /// Bottlenecked slice indices (global, ascending, possibly
+    /// non-contiguous).
+    pub slices: Vec<usize>,
+}
+
+/// Scans the profile for consumable bottlenecks.
+pub fn consumable_bottlenecks(
+    profile: &PerformanceProfile,
+    cfg: &BottleneckConfig,
+) -> Vec<ConsumableBottleneck> {
+    let nr = profile.resources.len();
+    let ns = profile.grid.num_slices();
+
+    // Per resource: which slices are inside a saturated run of sufficient
+    // length.
+    let mut saturated = vec![vec![false; ns]; nr];
+    for r in 0..nr {
+        let cap = profile.resources[r].capacity;
+        let mut run_start = None;
+        for s in 0..=ns {
+            let is_sat =
+                s < ns && profile.consumption[r][s] >= cfg.saturation_fraction * cap;
+            match (run_start, is_sat) {
+                (None, true) => run_start = Some(s),
+                (Some(st), false) => {
+                    if s - st >= cfg.min_saturation_slices {
+                        for x in st..s {
+                            saturated[r][x] = true;
+                        }
+                    }
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for u in &profile.usages {
+        let r = u.resource.0 as usize;
+        let mut sat_slices = Vec::new();
+        let mut exact_slices = Vec::new();
+        for k in 0..u.usage.len() {
+            let s = u.first_slice + k;
+            // A phase only counts as bottlenecked while it actually
+            // participates (non-zero demand — i.e. active and dependent).
+            if u.demand[k] <= 0.0 {
+                continue;
+            }
+            if saturated[r][s] {
+                sat_slices.push(s);
+            } else if exact_limit_hit(u, k, cfg) {
+                exact_slices.push(s);
+            }
+        }
+        if !sat_slices.is_empty() {
+            out.push(ConsumableBottleneck {
+                instance: u.instance,
+                resource: u.resource,
+                cause: BottleneckCause::Saturation,
+                slices: sat_slices,
+            });
+        }
+        if !exact_slices.is_empty() {
+            out.push(ConsumableBottleneck {
+                instance: u.instance,
+                resource: u.resource,
+                cause: BottleneckCause::ExactLimit,
+                slices: exact_slices,
+            });
+        }
+    }
+    out
+}
+
+fn exact_limit_hit(u: &InstanceUsage, k: usize, cfg: &BottleneckConfig) -> bool {
+    matches!(u.rule, AttributionRule::Exact(_))
+        && u.usage[k] >= cfg.exact_limit_fraction * u.demand[k]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribution::{build_profile, ProfileConfig};
+    use crate::model::execution::{ExecutionModelBuilder, Repeat};
+    use crate::model::rules::RuleSet;
+    use crate::trace::execution::TraceBuilder;
+    use crate::trace::resource::{ResourceInstance, ResourceTrace};
+    use crate::trace::timeslice::MILLIS;
+
+    /// One phase using one 4-core CPU, measured saturated in the middle.
+    fn saturated_profile() -> (PerformanceProfile, InstanceId) {
+        let mut b = ExecutionModelBuilder::new("job");
+        let r = b.root();
+        b.child(r, "p", Repeat::Once);
+        let model = b.build();
+        let mut tb = TraceBuilder::new(&model);
+        tb.add_phase(&[("job", 0)], 0, 60 * MILLIS, None, None).unwrap();
+        let p = tb
+            .add_phase(&[("job", 0), ("p", 0)], 0, 60 * MILLIS, Some(0), Some(0))
+            .unwrap();
+        let trace = tb.build().unwrap();
+        let mut rt = ResourceTrace::new();
+        let cpu = rt.add_resource(ResourceInstance {
+            kind: "cpu".into(),
+            machine: Some(0),
+            capacity: 4.0,
+        });
+        // Slices: 2 low, 3 saturated, 1 low (10 ms measurements = 1 slice).
+        rt.add_series(cpu, 0, 10 * MILLIS, &[1.0, 1.0, 4.0, 4.0, 4.0, 1.0]);
+        let prof = build_profile(&model, &RuleSet::new(), &trace, &rt, &ProfileConfig::default());
+        (prof, p)
+    }
+
+    #[test]
+    fn saturation_detected_with_min_run() {
+        let (prof, p) = saturated_profile();
+        let found = consumable_bottlenecks(&prof, &BottleneckConfig::default());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].instance, p);
+        assert_eq!(found[0].cause, BottleneckCause::Saturation);
+        assert_eq!(found[0].slices, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn short_saturation_spike_ignored() {
+        let (prof, _) = saturated_profile();
+        let cfg = BottleneckConfig {
+            min_saturation_slices: 4, // longer than the 3-slice run
+            ..Default::default()
+        };
+        assert!(consumable_bottlenecks(&prof, &cfg).is_empty());
+    }
+
+    #[test]
+    fn exact_limit_detected_without_saturation() {
+        // Phase limited to 25 % of the CPU, using exactly that, while the
+        // machine sits at 50 % overall.
+        let mut b = ExecutionModelBuilder::new("job");
+        let r = b.root();
+        let p_ty = b.child(r, "p", Repeat::Once);
+        let q_ty = b.child(r, "q", Repeat::Once);
+        let model = b.build();
+        let mut tb = TraceBuilder::new(&model);
+        tb.add_phase(&[("job", 0)], 0, 40 * MILLIS, None, None).unwrap();
+        let p = tb
+            .add_phase(&[("job", 0), ("p", 0)], 0, 40 * MILLIS, Some(0), Some(0))
+            .unwrap();
+        tb.add_phase(&[("job", 0), ("q", 0)], 0, 40 * MILLIS, Some(0), Some(1))
+            .unwrap();
+        let trace = tb.build().unwrap();
+        let mut rt = ResourceTrace::new();
+        let cpu = rt.add_resource(ResourceInstance {
+            kind: "cpu".into(),
+            machine: Some(0),
+            capacity: 4.0,
+        });
+        rt.add_series(cpu, 0, 10 * MILLIS, &[2.0, 2.0, 2.0, 2.0]);
+        let rules = RuleSet::new().rule(p_ty, "cpu", AttributionRule::Exact(0.25));
+        let _ = q_ty;
+        let prof = build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default());
+        let found = consumable_bottlenecks(&prof, &BottleneckConfig::default());
+        let exact: Vec<_> = found
+            .iter()
+            .filter(|b| b.cause == BottleneckCause::ExactLimit)
+            .collect();
+        assert_eq!(exact.len(), 1);
+        assert_eq!(exact[0].instance, p);
+        assert_eq!(exact[0].slices.len(), 4);
+    }
+
+    #[test]
+    fn underused_exact_phase_not_bottlenecked() {
+        // Same setup but consumption below the exact demand: no bottleneck.
+        let mut b = ExecutionModelBuilder::new("job");
+        let r = b.root();
+        let p_ty = b.child(r, "p", Repeat::Once);
+        let model = b.build();
+        let mut tb = TraceBuilder::new(&model);
+        tb.add_phase(&[("job", 0)], 0, 40 * MILLIS, None, None).unwrap();
+        tb.add_phase(&[("job", 0), ("p", 0)], 0, 40 * MILLIS, Some(0), Some(0))
+            .unwrap();
+        let trace = tb.build().unwrap();
+        let mut rt = ResourceTrace::new();
+        let _ = rt.add_resource(ResourceInstance {
+            kind: "cpu".into(),
+            machine: Some(0),
+            capacity: 4.0,
+        });
+        rt.add_series(ResourceIdx(0), 0, 10 * MILLIS, &[0.2, 0.2, 0.2, 0.2]);
+        let rules = RuleSet::new().rule(p_ty, "cpu", AttributionRule::Exact(0.25));
+        let prof = build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default());
+        assert!(consumable_bottlenecks(&prof, &BottleneckConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! Critical-path analysis on top of the replay model.
+//!
+//! The paper's related work treats critical-path analysis as a separate,
+//! workload-level technique; Grade10's replay simulator already contains
+//! everything needed to derive it. The critical path is the chain of leaf
+//! phases whose durations determine the replayed makespan — shortening any
+//! phase *off* the path cannot speed the job up at all, so the per-type
+//! breakdown here tells an engineer where optimization effort can possibly
+//! pay before running any what-if.
+
+use std::collections::BTreeMap;
+
+use crate::model::execution::{ExecutionModel, PhaseTypeId};
+use crate::replay::{replay_original, ReplayConfig, ReplayResult};
+use crate::trace::execution::{ExecutionTrace, InstanceId};
+use crate::trace::timeslice::Nanos;
+
+/// One hop of the critical path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CriticalHop {
+    /// The leaf phase instance on the path.
+    pub instance: InstanceId,
+    /// Its replayed start.
+    pub start: Nanos,
+    /// Its replayed end.
+    pub end: Nanos,
+}
+
+/// The critical path and its aggregate view.
+#[derive(Clone, Debug)]
+pub struct CriticalPath {
+    /// Leaf instances on the path, in execution order.
+    pub hops: Vec<CriticalHop>,
+    /// Replayed makespan (equals the last hop's end).
+    pub makespan: Nanos,
+    /// Time on the path per leaf phase type, ns.
+    pub time_by_type: BTreeMap<PhaseTypeId, Nanos>,
+}
+
+impl CriticalPath {
+    /// Fraction of the makespan spent in `ty` on the critical path.
+    pub fn fraction_of(&self, ty: PhaseTypeId) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        *self.time_by_type.get(&ty).unwrap_or(&0) as f64 / self.makespan as f64
+    }
+
+    /// Human-readable per-type rows, largest first.
+    pub fn rows(&self, model: &ExecutionModel) -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> = self
+            .time_by_type
+            .iter()
+            .map(|(&ty, &ns)| (model.type_path(ty), ns as f64 / 1e9))
+            .collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        rows
+    }
+}
+
+/// Derives the critical path of the replayed trace.
+///
+/// Reconstruction is greedy-backward over the replay schedule: starting
+/// from a leaf that finishes at the makespan, repeatedly step to a
+/// predecessor-candidate leaf that finishes exactly when the current hop
+/// could begin — either a model/sequential predecessor or, under
+/// concurrency limits, the previous occupant of the hop's slot.
+pub fn critical_path(
+    model: &ExecutionModel,
+    trace: &ExecutionTrace,
+    cfg: &ReplayConfig,
+) -> CriticalPath {
+    let result = replay_original(model, trace, cfg);
+    critical_path_of(model, trace, &result)
+}
+
+/// Same, over an existing replay result.
+pub fn critical_path_of(
+    _model: &ExecutionModel,
+    trace: &ExecutionTrace,
+    result: &ReplayResult,
+) -> CriticalPath {
+    let leaves: Vec<InstanceId> = trace.leaves().map(|i| i.id).collect();
+    let makespan = result.makespan;
+
+    // Terminal hop: a leaf ending at the makespan.
+    let mut current = leaves
+        .iter()
+        .copied()
+        .find(|&id| result.end[id.0 as usize] == makespan);
+    let mut hops: Vec<CriticalHop> = Vec::new();
+
+    while let Some(id) = current {
+        let (s, e) = (result.start[id.0 as usize], result.end[id.0 as usize]);
+        hops.push(CriticalHop {
+            instance: id,
+            start: s,
+            end: e,
+        });
+        if s == 0 {
+            break;
+        }
+        // A predecessor leaf that ends exactly at (or after — slot waits —
+        // no: at) this hop's start and is plausibly ordered before it:
+        // any leaf with end == start of the current hop. If several
+        // qualify, prefer one on the same machine (slot or local
+        // dependency), then any.
+        let inst = trace.instance(id);
+        let mut cands: Vec<InstanceId> = leaves
+            .iter()
+            .copied()
+            .filter(|&c| c != id && result.end[c.0 as usize] == s)
+            .collect();
+        cands.sort_by_key(|&c| {
+            let ci = trace.instance(c);
+            (ci.machine != inst.machine, c.0)
+        });
+        current = cands.first().copied();
+    }
+    hops.reverse();
+
+    let mut time_by_type = BTreeMap::new();
+    for h in &hops {
+        let ty = trace.instance(h.instance).type_id;
+        *time_by_type.entry(ty).or_insert(0) += h.end - h.start;
+    }
+    CriticalPath {
+        hops,
+        makespan,
+        time_by_type,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::execution::{ExecutionModelBuilder, Repeat};
+    use crate::trace::execution::TraceBuilder;
+    use crate::trace::timeslice::MILLIS;
+
+    /// job -> step(seq) -> task(par): two steps, two tasks each.
+    fn setup(durs: [[u64; 2]; 2]) -> (ExecutionModel, ExecutionTrace) {
+        let mut b = ExecutionModelBuilder::new("job");
+        let r = b.root();
+        let step = b.child(r, "step", Repeat::Sequential);
+        let _ = b.child(step, "task", Repeat::Parallel);
+        let model = b.build();
+        let trace = build_trace(&model, durs);
+        (model, trace)
+    }
+
+    fn build_trace(model: &ExecutionModel, durs: [[u64; 2]; 2]) -> ExecutionTrace {
+        let mut tb = TraceBuilder::new(model);
+        let s0 = durs[0].iter().max().unwrap();
+        let s1 = durs[1].iter().max().unwrap();
+        tb.add_phase(&[("job", 0)], 0, (s0 + s1) * MILLIS, None, None).unwrap();
+        let mut t0 = 0u64;
+        for (si, d) in durs.iter().enumerate() {
+            let len = *d.iter().max().unwrap();
+            tb.add_phase(
+                &[("job", 0), ("step", si as u32)],
+                t0 * MILLIS,
+                (t0 + len) * MILLIS,
+                None,
+                None,
+            )
+            .unwrap();
+            for (k, &dk) in d.iter().enumerate() {
+                tb.add_phase(
+                    &[("job", 0), ("step", si as u32), ("task", k as u32)],
+                    t0 * MILLIS,
+                    (t0 + dk) * MILLIS,
+                    Some(0),
+                    Some(k as u16),
+                )
+                .unwrap();
+            }
+            t0 += len;
+        }
+        tb.build().unwrap()
+    }
+
+    #[test]
+    fn path_picks_the_longest_task_of_each_step() {
+        let (model, trace) = setup([[20, 50], [70, 10]]);
+        let cp = critical_path(&model, &trace, &ReplayConfig::default());
+        assert_eq!(cp.makespan, 120 * MILLIS);
+        assert_eq!(cp.hops.len(), 2);
+        // Hops are the 50 ms task of step 0 and the 70 ms task of step 1.
+        let durs: Vec<u64> = cp.hops.iter().map(|h| (h.end - h.start) / MILLIS).collect();
+        assert_eq!(durs, vec![50, 70]);
+        // All path time is in `task` phases.
+        let task = model.find_by_name("task").unwrap();
+        assert_eq!(cp.time_by_type[&task], 120 * MILLIS);
+        assert!((cp.fraction_of(task) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hops_are_ordered_and_contiguous() {
+        let (model, trace) = setup([[30, 40], [25, 35]]);
+        let cp = critical_path(&model, &trace, &ReplayConfig::default());
+        for w in cp.hops.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+        assert_eq!(cp.hops.last().unwrap().end, cp.makespan);
+        assert_eq!(cp.hops.first().unwrap().start, 0);
+    }
+
+    #[test]
+    fn rows_sorted_by_time() {
+        let (model, trace) = setup([[20, 50], [70, 10]]);
+        let cp = critical_path(&model, &trace, &ReplayConfig::default());
+        let rows = cp.rows(&model);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, "job.step.task");
+        assert!((rows[0].1 - 0.12).abs() < 1e-9);
+    }
+
+    #[test]
+    fn off_path_phases_do_not_contribute() {
+        // The 20 ms task of step 0 is off the path; shrinking it must not
+        // change the critical-path composition.
+        let (model, trace) = setup([[20, 50], [70, 10]]);
+        let cp = critical_path(&model, &trace, &ReplayConfig::default());
+        let on_path: Vec<u32> = cp.hops.iter().map(|h| h.instance.0).collect();
+        let task_ty = model.find_by_name("task").unwrap();
+        let short = trace
+            .instances_of_type(task_ty)
+            .find(|i| i.duration() == 20 * MILLIS)
+            .unwrap();
+        assert!(!on_path.contains(&short.id.0));
+    }
+}

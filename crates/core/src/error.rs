@@ -1,0 +1,74 @@
+//! The crate's error type.
+//!
+//! Everything fallible in Grade10 is an input problem: logs that do not
+//! balance, paths that do not resolve against the execution model,
+//! malformed serialized artifacts. [`Grade10Error`] classifies them so
+//! callers can distinguish "fix your log shipper" from "fix your model"
+//! without parsing message strings.
+
+use std::fmt;
+
+/// Errors produced while ingesting Grade10's inputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Grade10Error {
+    /// A log stream violated the event contract (unbalanced phases,
+    /// duplicate starts, blocks without ends).
+    MalformedLog(String),
+    /// A phase path did not resolve against the execution model, or
+    /// referenced a parent instance that was never logged.
+    ModelMismatch(String),
+    /// A trace failed structural validation (negative durations, dangling
+    /// references).
+    InvalidTrace(String),
+    /// A serialized artifact (model bundle, event file) failed to parse.
+    Serialization(String),
+}
+
+impl Grade10Error {
+    /// The human-readable detail.
+    pub fn detail(&self) -> &str {
+        match self {
+            Grade10Error::MalformedLog(s)
+            | Grade10Error::ModelMismatch(s)
+            | Grade10Error::InvalidTrace(s)
+            | Grade10Error::Serialization(s) => s,
+        }
+    }
+}
+
+impl fmt::Display for Grade10Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Grade10Error::MalformedLog(s) => write!(f, "malformed log: {s}"),
+            Grade10Error::ModelMismatch(s) => write!(f, "model mismatch: {s}"),
+            Grade10Error::InvalidTrace(s) => write!(f, "invalid trace: {s}"),
+            Grade10Error::Serialization(s) => write!(f, "serialization: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Grade10Error {}
+
+impl From<Grade10Error> for String {
+    fn from(e: Grade10Error) -> String {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_category() {
+        let e = Grade10Error::MalformedLog("phase x never ended".into());
+        assert_eq!(e.to_string(), "malformed log: phase x never ended");
+        assert_eq!(e.detail(), "phase x never ended");
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Grade10Error::InvalidTrace("x".into()));
+    }
+}

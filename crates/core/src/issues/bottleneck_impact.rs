@@ -1,0 +1,322 @@
+//! Impact estimation of extensive resource bottlenecks (§III-F).
+//!
+//! To simulate removing a bottleneck on resource kind `K`, every slice in
+//! which a phase was bottlenecked on `K` shrinks until the *next* resource
+//! binds: the shrink factor is the highest utilization fraction the phase
+//! shows on any other resource in that slice (its usage relative to its own
+//! Exact limit, or to the resource's capacity for Variable rules). Blocking
+//! bottlenecks are simpler — the blocked time just disappears.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::attribution::PerformanceProfile;
+use crate::bottleneck::{BottleneckReport, ConsumableBottleneck};
+use crate::issues::{IssueConfig, IssueKind, PerformanceIssue};
+use crate::model::execution::ExecutionModel;
+use crate::model::rules::AttributionRule;
+use crate::replay::{replay, replay_original, ReplayConfig};
+use crate::trace::execution::{ExecutionTrace, InstanceId};
+use crate::trace::timeslice::Nanos;
+
+/// Simulates removing all bottlenecks on the consumable resource kind
+/// `resource_kind`.
+pub fn consumable_issue(
+    model: &ExecutionModel,
+    trace: &ExecutionTrace,
+    profile: &PerformanceProfile,
+    report: &BottleneckReport,
+    resource_kind: &str,
+    replay_cfg: &ReplayConfig,
+    cfg: &IssueConfig,
+) -> PerformanceIssue {
+    // Bottlenecked slices per instance, restricted to the target kind.
+    let mut slices_per_instance: HashMap<InstanceId, BTreeSet<usize>> = HashMap::new();
+    for b in &report.consumable {
+        if profile.resources[b.resource.0 as usize].kind == resource_kind {
+            slices_per_instance
+                .entry(b.instance)
+                .or_default()
+                .extend(b.slices.iter().copied());
+        }
+    }
+    let affected = slices_per_instance.len();
+
+    let slice_ns = profile.grid.slice_nanos();
+    let adjusted: HashMap<InstanceId, Nanos> = slices_per_instance
+        .iter()
+        .map(|(&id, slices)| {
+            let orig = trace.instance(id).duration();
+            let mut saved = 0.0f64;
+            for &s in slices {
+                let factor = next_limit_fraction(profile, id, resource_kind, s)
+                    .max(cfg.floor_factor);
+                saved += (1.0 - factor.min(1.0)) * slice_ns as f64;
+            }
+            let new = (orig as f64 - saved).max(0.0) as Nanos;
+            (id, new)
+        })
+        .collect();
+
+    let base = replay_original(model, trace, replay_cfg);
+    let optimistic = replay(
+        model,
+        trace,
+        &|id| {
+            adjusted
+                .get(&id)
+                .copied()
+                .unwrap_or_else(|| trace.instance(id).duration())
+        },
+        replay_cfg,
+    );
+    PerformanceIssue::from_makespans(
+        IssueKind::ConsumableBottleneck {
+            resource_kind: resource_kind.to_string(),
+        },
+        base.makespan,
+        optimistic.makespan,
+        affected,
+    )
+}
+
+/// The highest utilization fraction `id` shows on any resource other than
+/// `removed_kind` in slice `s` — the point at which the next resource
+/// becomes the bottleneck.
+fn next_limit_fraction(
+    profile: &PerformanceProfile,
+    id: InstanceId,
+    removed_kind: &str,
+    s: usize,
+) -> f64 {
+    let mut max_frac = 0.0f64;
+    for u in &profile.usages {
+        if u.instance != id {
+            continue;
+        }
+        let res = &profile.resources[u.resource.0 as usize];
+        if res.kind == removed_kind {
+            continue;
+        }
+        let usage = u.usage_at(s);
+        let limit = match u.rule {
+            AttributionRule::Exact(_) => u.demand_at(s).max(1e-12),
+            _ => res.capacity,
+        };
+        max_frac = max_frac.max(usage / limit);
+    }
+    max_frac
+}
+
+/// Simulates removing all blocking on the blocking resource kind
+/// `resource_kind` (e.g. "gc", "msgq"): each affected phase shortens by its
+/// blocked time.
+pub fn blocking_issue(
+    model: &ExecutionModel,
+    trace: &ExecutionTrace,
+    report: &BottleneckReport,
+    resource_kind: &str,
+    replay_cfg: &ReplayConfig,
+) -> PerformanceIssue {
+    let mut saved: HashMap<InstanceId, Nanos> = HashMap::new();
+    for b in &report.blocking {
+        if b.resource == resource_kind {
+            *saved.entry(b.instance).or_insert(0) += (b.blocked_secs * 1e9) as Nanos;
+        }
+    }
+    let affected = saved.len();
+    let base = replay_original(model, trace, replay_cfg);
+    let optimistic = replay(
+        model,
+        trace,
+        &|id| {
+            let orig = trace.instance(id).duration();
+            orig.saturating_sub(saved.get(&id).copied().unwrap_or(0))
+        },
+        replay_cfg,
+    );
+    PerformanceIssue::from_makespans(
+        IssueKind::BlockingBottleneck {
+            resource_kind: resource_kind.to_string(),
+        },
+        base.makespan,
+        optimistic.makespan,
+        affected,
+    )
+}
+
+/// Runs the full sweep the paper describes: one what-if per resource kind
+/// seen in the bottleneck report, returning issues above the reporting
+/// threshold, most impactful first.
+pub fn detect_bottleneck_issues(
+    model: &ExecutionModel,
+    trace: &ExecutionTrace,
+    profile: &PerformanceProfile,
+    report: &BottleneckReport,
+    replay_cfg: &ReplayConfig,
+    cfg: &IssueConfig,
+) -> Vec<PerformanceIssue> {
+    let mut issues = Vec::new();
+
+    let consumable_kinds: BTreeSet<String> = report
+        .consumable
+        .iter()
+        .map(|b: &ConsumableBottleneck| {
+            profile.resources[b.resource.0 as usize].kind.clone()
+        })
+        .collect();
+    for kind in consumable_kinds {
+        issues.push(consumable_issue(
+            model, trace, profile, report, &kind, replay_cfg, cfg,
+        ));
+    }
+
+    let blocking_kinds: BTreeSet<String> =
+        report.blocking.iter().map(|b| b.resource.clone()).collect();
+    for kind in blocking_kinds {
+        issues.push(blocking_issue(model, trace, report, &kind, replay_cfg));
+    }
+
+    issues.retain(|i| i.reduction >= cfg.min_reduction);
+    issues.sort_by(|a, b| b.reduction.total_cmp(&a.reduction));
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribution::{build_profile, ProfileConfig};
+    use crate::bottleneck::BottleneckConfig;
+    use crate::model::execution::{ExecutionModelBuilder, Repeat};
+    use crate::model::rules::RuleSet;
+    use crate::trace::execution::TraceBuilder;
+    use crate::trace::resource::{ResourceInstance, ResourceTrace};
+    use crate::trace::timeslice::MILLIS;
+
+    /// One long CPU-saturated phase plus GC blocking on a second phase.
+    fn setup() -> (
+        ExecutionModel,
+        ExecutionTrace,
+        ResourceTrace,
+    ) {
+        let mut b = ExecutionModelBuilder::new("job");
+        let r = b.root();
+        let a = b.child(r, "a", Repeat::Once);
+        let c = b.child(r, "b", Repeat::Once);
+        b.edge(a, c);
+        let model = b.build();
+        let mut tb = TraceBuilder::new(&model);
+        tb.add_phase(&[("job", 0)], 0, 200 * MILLIS, None, None).unwrap();
+        tb.add_phase(&[("job", 0), ("a", 0)], 0, 100 * MILLIS, Some(0), Some(0))
+            .unwrap();
+        let bb = tb
+            .add_phase(
+                &[("job", 0), ("b", 0)],
+                100 * MILLIS,
+                200 * MILLIS,
+                Some(0),
+                Some(0),
+            )
+            .unwrap();
+        // b is GC-blocked for 40 of its 100 ms.
+        tb.add_blocking(bb, "gc", 120 * MILLIS, 160 * MILLIS);
+        let trace = tb.build().unwrap();
+        let mut rt = ResourceTrace::new();
+        let cpu = rt.add_resource(ResourceInstance {
+            kind: "cpu".into(),
+            machine: Some(0),
+            capacity: 4.0,
+        });
+        // a saturates the CPU; b uses little.
+        let mut samples = vec![4.0; 10];
+        samples.extend(vec![0.4; 10]);
+        rt.add_series(cpu, 0, 10 * MILLIS, &samples);
+        (model, trace, rt)
+    }
+
+    #[test]
+    fn cpu_bottleneck_issue_reports_reduction() {
+        let (model, trace, rt) = setup();
+        let prof = build_profile(&model, &RuleSet::new(), &trace, &rt, &ProfileConfig::default());
+        let report = BottleneckReport::build(&trace, &prof, &BottleneckConfig::default());
+        let issues = detect_bottleneck_issues(
+            &model,
+            &trace,
+            &prof,
+            &report,
+            &ReplayConfig::default(),
+            &IssueConfig::default(),
+        );
+        let cpu_issue = issues
+            .iter()
+            .find(|i| {
+                matches!(&i.kind, IssueKind::ConsumableBottleneck { resource_kind } if resource_kind == "cpu")
+            })
+            .expect("cpu issue expected");
+        // Phase a (100 ms, fully saturated) shrinks dramatically; the job is
+        // 200 ms total, so reduction should be large but below 50 %+.
+        assert!(
+            cpu_issue.reduction > 0.3,
+            "reduction {}",
+            cpu_issue.reduction
+        );
+        assert!(cpu_issue.base_makespan == 200 * MILLIS);
+        assert_eq!(cpu_issue.affected_instances, 1);
+    }
+
+    #[test]
+    fn gc_blocking_issue_saves_blocked_time() {
+        let (model, trace, rt) = setup();
+        let prof = build_profile(&model, &RuleSet::new(), &trace, &rt, &ProfileConfig::default());
+        let report = BottleneckReport::build(&trace, &prof, &BottleneckConfig::default());
+        let issue = blocking_issue(&model, &trace, &report, "gc", &ReplayConfig::default());
+        // Removing 40 ms of GC from a 200 ms job: exactly 20 %.
+        assert!(
+            (issue.reduction - 0.2).abs() < 0.01,
+            "reduction {}",
+            issue.reduction
+        );
+        assert_eq!(issue.optimistic_makespan, 160 * MILLIS);
+    }
+
+    #[test]
+    fn threshold_filters_small_issues() {
+        let (model, trace, rt) = setup();
+        let prof = build_profile(&model, &RuleSet::new(), &trace, &rt, &ProfileConfig::default());
+        let report = BottleneckReport::build(&trace, &prof, &BottleneckConfig::default());
+        let strict = IssueConfig {
+            min_reduction: 0.99,
+            ..Default::default()
+        };
+        let issues = detect_bottleneck_issues(
+            &model,
+            &trace,
+            &prof,
+            &report,
+            &ReplayConfig::default(),
+            &strict,
+        );
+        assert!(issues.is_empty());
+    }
+
+    #[test]
+    fn floor_factor_bounds_speedup() {
+        let (model, trace, rt) = setup();
+        let prof = build_profile(&model, &RuleSet::new(), &trace, &rt, &ProfileConfig::default());
+        let report = BottleneckReport::build(&trace, &prof, &BottleneckConfig::default());
+        let gentle = IssueConfig {
+            floor_factor: 0.9, // slices shrink at most 10 %
+            ..Default::default()
+        };
+        let issue = consumable_issue(
+            &model,
+            &trace,
+            &prof,
+            &report,
+            "cpu",
+            &ReplayConfig::default(),
+            &gentle,
+        );
+        // Phase a is 100 of 200 ms; 10 % of it is 5 % of the makespan.
+        assert!(issue.reduction <= 0.051, "reduction {}", issue.reduction);
+    }
+}

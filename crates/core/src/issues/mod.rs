@@ -1,0 +1,105 @@
+//! Performance-issue detection (§III-F).
+//!
+//! For each candidate issue Grade10 computes how fixing it would change
+//! specific phase durations, replays the trace with the adjusted durations,
+//! and reports the reduction in makespan if it clears a threshold. Two issue
+//! classes are implemented, matching the paper:
+//!
+//! * [`bottleneck_impact`] — *extensive resource bottlenecks*: remove all
+//!   bottlenecks on one resource kind (consumable or blocking) and see how
+//!   much faster the application could run before the next resource binds;
+//! * [`imbalance`] — *imbalanced execution*: give every group of concurrent
+//!   same-type phases its mean duration (work is interchangeable within one
+//!   iteration, never across iterations) and re-simulate.
+
+pub mod bottleneck_impact;
+pub mod imbalance;
+
+pub use bottleneck_impact::{
+    blocking_issue, consumable_issue, detect_bottleneck_issues,
+};
+pub use imbalance::{detect_imbalance_issues, imbalance_groups, GroupDetail, OutlierReport};
+
+use crate::model::execution::PhaseTypeId;
+use crate::trace::timeslice::Nanos;
+
+/// Thresholds and knobs for issue detection.
+#[derive(Clone, Debug)]
+pub struct IssueConfig {
+    /// Minimum makespan reduction (fraction of baseline) to report an issue.
+    pub min_reduction: f64,
+    /// Lower bound on the per-slice shrink factor when simulating a removed
+    /// consumable bottleneck: a slice never shrinks below this fraction of
+    /// itself (prevents unbounded speedups when no other resource is
+    /// visible).
+    pub floor_factor: f64,
+}
+
+impl Default for IssueConfig {
+    fn default() -> Self {
+        IssueConfig {
+            min_reduction: 0.01,
+            floor_factor: 0.05,
+        }
+    }
+}
+
+/// What kind of issue a report describes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IssueKind {
+    /// Removing all bottlenecks on a consumable resource kind.
+    /// Removing all bottlenecks on a consumable resource kind.
+    ConsumableBottleneck {
+        /// The consumable resource kind whose bottlenecks are removed.
+        resource_kind: String,
+    },
+    /// Removing all blocking on a blocking resource kind.
+    /// Removing all blocking on a blocking resource kind.
+    BlockingBottleneck {
+        /// The blocking resource kind whose events are removed.
+        resource_kind: String,
+    },
+    /// Perfectly balancing concurrent same-type phases of one type.
+    /// Perfectly balancing concurrent same-type phases of one type.
+    Imbalance {
+        /// The phase type whose concurrent groups are evened out.
+        phase_type: PhaseTypeId,
+    },
+}
+
+/// One detected performance issue with its estimated maximal impact.
+#[derive(Clone, Debug)]
+pub struct PerformanceIssue {
+    /// What fixing this issue means.
+    pub kind: IssueKind,
+    /// Baseline makespan (replay of the original durations), ns.
+    pub base_makespan: Nanos,
+    /// Optimistic makespan with the issue fixed, ns.
+    pub optimistic_makespan: Nanos,
+    /// `1 − optimistic / base`: upper bound on the achievable reduction.
+    pub reduction: f64,
+    /// Number of phase instances whose duration the fix changed.
+    pub affected_instances: usize,
+}
+
+impl PerformanceIssue {
+    pub(crate) fn from_makespans(
+        kind: IssueKind,
+        base: Nanos,
+        optimistic: Nanos,
+        affected: usize,
+    ) -> Self {
+        let reduction = if base == 0 {
+            0.0
+        } else {
+            1.0 - optimistic as f64 / base as f64
+        };
+        PerformanceIssue {
+            kind,
+            base_makespan: base,
+            optimistic_makespan: optimistic,
+            reduction,
+            affected_instances: affected,
+        }
+    }
+}

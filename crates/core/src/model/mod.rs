@@ -1,0 +1,13 @@
+//! Execution and resource models — the "expert input" of the Grade10 paper
+//! (§III-B), defined once per graph-processing framework and reused across
+//! workloads.
+
+pub mod execution;
+pub mod persist;
+pub mod resource;
+pub mod rules;
+
+pub use execution::{ExecutionModel, ExecutionModelBuilder, PhaseTypeId, Repeat};
+pub use persist::ModelBundle;
+pub use resource::{ResourceClass, ResourceDef, ResourceModel};
+pub use rules::{AttributionRule, RuleSet};

@@ -1,0 +1,194 @@
+//! One-call characterization: the whole Grade10 lifecycle (Fig. 1 of the
+//! paper) behind a single function.
+//!
+//! [`characterize`] runs resource attribution, bottleneck identification,
+//! and performance-issue detection in order and returns a
+//! [`Characterization`] bundling the artifacts plus a human-readable
+//! summary. Use the individual modules directly when you need intermediate
+//! control (custom thresholds per stage, partial pipelines, or repeated
+//! what-ifs over one profile).
+
+use crate::attribution::{build_profile, PerformanceProfile, ProfileConfig};
+use crate::bottleneck::{BottleneckConfig, BottleneckReport};
+use crate::issues::{
+    detect_bottleneck_issues, detect_imbalance_issues, IssueConfig, IssueKind, PerformanceIssue,
+};
+use crate::model::{ExecutionModel, RuleSet};
+use crate::replay::{replay_original, ReplayConfig};
+use crate::report::table::pct;
+use crate::trace::{ExecutionTrace, ResourceTrace};
+
+/// Configuration for the full pipeline.
+#[derive(Clone, Debug, Default)]
+pub struct CharacterizationConfig {
+    /// Attribution settings (timeslice, upsampling mode).
+    pub profile: ProfileConfig,
+    /// Bottleneck-detection thresholds.
+    pub bottleneck: BottleneckConfig,
+    /// Replay-simulation options.
+    pub replay: ReplayConfig,
+    /// Issue-detection thresholds.
+    pub issues: IssueConfig,
+}
+
+/// Everything one characterization run produces.
+pub struct Characterization {
+    /// The fine-grained phase × resource × timeslice profile.
+    pub profile: PerformanceProfile,
+    /// Where phases were resource-limited.
+    pub bottlenecks: BottleneckReport,
+    /// Baseline makespan of the replayed trace, ns.
+    pub base_makespan: u64,
+    /// Detected issues, most impactful first (bottlenecks and imbalance
+    /// interleaved by estimated reduction).
+    pub issues: Vec<PerformanceIssue>,
+}
+
+impl Characterization {
+    /// Human-readable issue list, one line per issue.
+    pub fn summary(&self, model: &ExecutionModel) -> Vec<String> {
+        self.issues
+            .iter()
+            .map(|i| {
+                let what = match &i.kind {
+                    IssueKind::ConsumableBottleneck { resource_kind } => {
+                        format!("remove {resource_kind} bottlenecks")
+                    }
+                    IssueKind::BlockingBottleneck { resource_kind } => {
+                        format!("eliminate {resource_kind} blocking")
+                    }
+                    IssueKind::Imbalance { phase_type } => {
+                        format!("balance {} phases", model.type_path(*phase_type))
+                    }
+                };
+                format!(
+                    "{}: up to {} faster ({} instances affected)",
+                    what,
+                    pct(i.reduction),
+                    i.affected_instances
+                )
+            })
+            .collect()
+    }
+
+    /// The single most impactful issue, if any cleared the threshold.
+    pub fn top_issue(&self) -> Option<&PerformanceIssue> {
+        self.issues.first()
+    }
+}
+
+/// Runs the full Grade10 pipeline.
+pub fn characterize(
+    model: &ExecutionModel,
+    rules: &RuleSet,
+    trace: &ExecutionTrace,
+    resources: &ResourceTrace,
+    cfg: &CharacterizationConfig,
+) -> Characterization {
+    let profile = build_profile(model, rules, trace, resources, &cfg.profile);
+    let bottlenecks = BottleneckReport::build(trace, &profile, &cfg.bottleneck);
+    let base = replay_original(model, trace, &cfg.replay);
+    let mut issues = detect_bottleneck_issues(
+        model,
+        trace,
+        &profile,
+        &bottlenecks,
+        &cfg.replay,
+        &cfg.issues,
+    );
+    issues.extend(detect_imbalance_issues(model, trace, &cfg.replay, &cfg.issues));
+    issues.sort_by(|a, b| b.reduction.total_cmp(&a.reduction));
+    Characterization {
+        profile,
+        bottlenecks,
+        base_makespan: base.makespan,
+        issues,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AttributionRule, ExecutionModelBuilder, Repeat};
+    use crate::trace::{ResourceInstance, TraceBuilder, MILLIS};
+
+    /// Two sequential phases; the first saturates the CPU, the second is
+    /// GC-bound; plus an imbalanced pair of parallel tasks inside phase b.
+    fn scenario() -> (ExecutionModel, RuleSet, ExecutionTrace, ResourceTrace) {
+        let mut b = ExecutionModelBuilder::new("job");
+        let r = b.root();
+        let a = b.child(r, "a", Repeat::Once);
+        let bb = b.child(r, "b", Repeat::Once);
+        b.edge(a, bb);
+        let task = b.child(bb, "task", Repeat::Parallel);
+        let model = b.build();
+        let rules = RuleSet::new().rule(task, "cpu", AttributionRule::Variable(1.0));
+
+        let mut tb = TraceBuilder::new(&model);
+        tb.add_phase(&[("job", 0)], 0, 300 * MILLIS, None, None).unwrap();
+        let ai = tb
+            .add_phase(&[("job", 0), ("a", 0)], 0, 100 * MILLIS, Some(0), Some(0))
+            .unwrap();
+        tb.add_blocking(ai, "gc", 40 * MILLIS, 60 * MILLIS);
+        tb.add_phase(&[("job", 0), ("b", 0)], 100 * MILLIS, 300 * MILLIS, None, None)
+            .unwrap();
+        tb.add_phase(
+            &[("job", 0), ("b", 0), ("task", 0)],
+            100 * MILLIS,
+            150 * MILLIS,
+            Some(0),
+            Some(0),
+        )
+        .unwrap();
+        tb.add_phase(
+            &[("job", 0), ("b", 0), ("task", 1)],
+            100 * MILLIS,
+            300 * MILLIS,
+            Some(0),
+            Some(1),
+        )
+        .unwrap();
+        let trace = tb.build().unwrap();
+
+        let mut rt = ResourceTrace::new();
+        let cpu = rt.add_resource(ResourceInstance {
+            kind: "cpu".into(),
+            machine: Some(0),
+            capacity: 4.0,
+        });
+        rt.add_series(cpu, 0, 50 * MILLIS, &[4.0, 4.0, 1.0, 1.0, 1.0, 1.0]);
+        (model, rules, trace, rt)
+    }
+
+    #[test]
+    fn characterize_finds_multiple_issue_classes() {
+        let (model, rules, trace, rt) = scenario();
+        let c = characterize(&model, &rules, &trace, &rt, &CharacterizationConfig::default());
+        assert_eq!(c.base_makespan, 300 * MILLIS);
+        let kinds: Vec<_> = c.issues.iter().map(|i| &i.kind).collect();
+        assert!(
+            kinds
+                .iter()
+                .any(|k| matches!(k, IssueKind::BlockingBottleneck { resource_kind } if resource_kind == "gc")),
+            "expected a gc issue in {kinds:?}"
+        );
+        assert!(
+            kinds.iter().any(|k| matches!(k, IssueKind::Imbalance { .. })),
+            "expected an imbalance issue in {kinds:?}"
+        );
+        // Issues are ordered by impact.
+        for w in c.issues.windows(2) {
+            assert!(w[0].reduction >= w[1].reduction);
+        }
+    }
+
+    #[test]
+    fn summary_is_readable() {
+        let (model, rules, trace, rt) = scenario();
+        let c = characterize(&model, &rules, &trace, &rt, &CharacterizationConfig::default());
+        let lines = c.summary(&model);
+        assert_eq!(lines.len(), c.issues.len());
+        assert!(lines.iter().any(|l| l.contains("gc")), "{lines:?}");
+        assert!(c.top_issue().is_some());
+    }
+}

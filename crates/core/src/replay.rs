@@ -1,0 +1,498 @@
+//! Trace-replay simulation (§III-F).
+//!
+//! Grade10 estimates the impact of a performance issue by replaying the
+//! execution trace under a simplified model: every leaf phase has a fixed
+//! duration, there are no delays between phases, precedence follows the
+//! execution model, and scheduling respects concurrency and locality — a
+//! leaf runs on its original machine, and the number of same-type leaves a
+//! machine runs concurrently never exceeds what the original trace shows
+//! (compute tasks cannot migrate between machines).
+//!
+//! Replaying the *original* durations yields the baseline makespan;
+//! replaying *adjusted* durations (a bottleneck removed, imbalance evened
+//! out) yields the optimistic makespan; their difference bounds the gain
+//! from fixing the issue.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::model::execution::{ExecutionModel, Repeat};
+use crate::trace::execution::{ExecutionTrace, InstanceId};
+use crate::trace::timeslice::Nanos;
+
+/// Replay options.
+#[derive(Clone, Debug)]
+pub struct ReplayConfig {
+    /// Enforce per-(machine, phase type) concurrency limits derived from
+    /// the original trace. Disabling yields the pure critical path.
+    pub enforce_concurrency: bool,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            enforce_concurrency: true,
+        }
+    }
+}
+
+/// Result of one replay.
+#[derive(Clone, Debug)]
+pub struct ReplayResult {
+    /// Simulated completion time of the whole trace (relative, ns).
+    pub makespan: Nanos,
+    /// Simulated start per instance.
+    pub start: Vec<Nanos>,
+    /// Simulated end per instance.
+    pub end: Vec<Nanos>,
+}
+
+/// Replays the trace with per-leaf durations given by `duration_of`
+/// (containers derive their extent from their leaves).
+pub fn replay(
+    model: &ExecutionModel,
+    trace: &ExecutionTrace,
+    duration_of: &dyn Fn(InstanceId) -> Nanos,
+    cfg: &ReplayConfig,
+) -> ReplayResult {
+    let n = trace.instances().len();
+    // Node 2i = instance start, 2i+1 = instance end.
+    let num_nodes = 2 * n;
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+    let mut indeg = vec![0u32; num_nodes];
+    let add_edge = |succ: &mut Vec<Vec<usize>>, indeg: &mut Vec<u32>, a: usize, b: usize| {
+        succ[a].push(b);
+        indeg[b] += 1;
+    };
+
+    // Parent-child containment edges.
+    for inst in trace.instances() {
+        let i = inst.id.0 as usize;
+        if let Some(p) = inst.parent {
+            let pi = p.0 as usize;
+            add_edge(&mut succ, &mut indeg, 2 * pi, 2 * i);
+            add_edge(&mut succ, &mut indeg, 2 * i + 1, 2 * pi + 1);
+        }
+    }
+    // Model precedence edges + sequential sibling chains, per container.
+    for inst in trace.instances() {
+        let children = trace.children_of(inst.id);
+        if children.is_empty() {
+            continue;
+        }
+        // Group children by type.
+        let mut by_type: HashMap<_, Vec<InstanceId>> = HashMap::new();
+        for &c in children {
+            by_type
+                .entry(trace.instance(c).type_id)
+                .or_default()
+                .push(c);
+        }
+        for (&ty, insts) in by_type.iter_mut() {
+            if model.repeat(ty) == Repeat::Sequential && insts.len() > 1 {
+                insts.sort_by_key(|&c| trace.instance(c).key);
+                for w in insts.windows(2) {
+                    add_edge(
+                        &mut succ,
+                        &mut indeg,
+                        2 * w[0].0 as usize + 1,
+                        2 * w[1].0 as usize,
+                    );
+                }
+            }
+        }
+        for &(from_ty, to_ty) in model.edges(trace.instance(inst.id).type_id) {
+            if let (Some(fs), Some(ts)) = (by_type.get(&from_ty), by_type.get(&to_ty)) {
+                for &f in fs {
+                    for &t in ts {
+                        add_edge(
+                            &mut succ,
+                            &mut indeg,
+                            2 * f.0 as usize + 1,
+                            2 * t.0 as usize,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // A leaf's end is reached only via its duration (pushed explicitly when
+    // the leaf starts or is granted a slot); give it an artificial
+    // indegree so the init loop below does not fire it at t = 0.
+    for inst in trace.instances() {
+        if trace.is_leaf(inst.id) {
+            indeg[2 * inst.id.0 as usize + 1] += 1;
+        }
+    }
+
+    // Concurrency slots per (machine, type), from the original trace.
+    let slots = if cfg.enforce_concurrency {
+        derive_slots(trace)
+    } else {
+        HashMap::new()
+    };
+    let mut free: HashMap<SlotKey, usize> = slots.clone();
+
+    // Event-driven propagation.
+    let mut fire_time = vec![0u64; num_nodes];
+    let mut fired = vec![false; num_nodes];
+    // (time, node) events: node becomes fireable at time (all preds done).
+    let mut heap: BinaryHeap<Reverse<(Nanos, usize)>> = BinaryHeap::new();
+    // Pending leaf tasks per slot group, ordered by original start.
+    let mut pending: PendingQueues = HashMap::new();
+
+    for node in 0..num_nodes {
+        if indeg[node] == 0 {
+            heap.push(Reverse((0, node)));
+        }
+    }
+
+    let mut makespan = 0u64;
+    while let Some(Reverse((t, node))) = heap.pop() {
+        if fired[node] {
+            continue;
+        }
+        fired[node] = true;
+        fire_time[node] = t;
+        makespan = makespan.max(t);
+
+        let i = node / 2;
+        let inst = trace.instance(InstanceId(i as u32));
+        let is_start = node % 2 == 0;
+        let is_leaf = trace.is_leaf(inst.id);
+
+        if is_start && is_leaf {
+            // The leaf's end is gated by a slot (if constrained).
+            let dur = duration_of(inst.id);
+            let key = (inst.machine, inst.type_id);
+            if cfg.enforce_concurrency && slots.contains_key(&key) {
+                pending
+                    .entry(key)
+                    .or_default()
+                    .push(Reverse((inst.start, inst.id.0, dur)));
+                try_start(&mut pending, &mut free, &mut heap, key, t);
+            } else {
+                heap.push(Reverse((t + dur, node + 1)));
+            }
+        }
+        if !is_start && is_leaf {
+            // Leaf finished: release its slot and start a waiting task.
+            let key = (inst.machine, inst.type_id);
+            if cfg.enforce_concurrency && slots.contains_key(&key) {
+                *free.get_mut(&key).unwrap() += 1;
+                try_start(&mut pending, &mut free, &mut heap, key, t);
+            }
+        }
+        // Propagate to successors.
+        for &s in &succ[node] {
+            indeg[s] -= 1;
+            fire_time[s] = fire_time[s].max(t);
+            if indeg[s] == 0 {
+                heap.push(Reverse((fire_time[s], s)));
+            }
+        }
+    }
+
+    debug_assert!(
+        fired.iter().all(|&f| f),
+        "replay left nodes unfired (cyclic precedence?)"
+    );
+
+    let mut start = vec![0u64; n];
+    let mut end = vec![0u64; n];
+    for i in 0..n {
+        start[i] = fire_time[2 * i];
+        end[i] = fire_time[2 * i + 1];
+    }
+    ReplayResult {
+        makespan,
+        start,
+        end,
+    }
+}
+
+type SlotKey = (Option<u16>, crate::model::execution::PhaseTypeId);
+
+/// Waiting tasks per slot group: `(original start, instance id, duration)`
+/// min-heaped so the earliest original start runs first.
+type PendingQueues = HashMap<SlotKey, BinaryHeap<Reverse<(Nanos, u32, Nanos)>>>;
+
+fn try_start(
+    pending: &mut PendingQueues,
+    free: &mut HashMap<SlotKey, usize>,
+    heap: &mut BinaryHeap<Reverse<(Nanos, usize)>>,
+    key: SlotKey,
+    now: Nanos,
+) {
+    let q = match pending.get_mut(&key) {
+        Some(q) => q,
+        None => return,
+    };
+    let f = free.get_mut(&key).unwrap();
+    while *f > 0 {
+        match q.pop() {
+            Some(Reverse((_prio, id, dur))) => {
+                *f -= 1;
+                // End node of instance `id` fires after `dur`.
+                heap.push(Reverse((now + dur, 2 * id as usize + 1)));
+            }
+            None => break,
+        }
+    }
+}
+
+/// Max simultaneous same-type leaves per machine in the original trace.
+fn derive_slots(trace: &ExecutionTrace) -> HashMap<SlotKey, usize> {
+    let mut events: HashMap<SlotKey, Vec<(Nanos, i32)>> = HashMap::new();
+    for inst in trace.leaves() {
+        let key = (inst.machine, inst.type_id);
+        let e = events.entry(key).or_default();
+        e.push((inst.start, 1));
+        e.push((inst.end, -1));
+    }
+    let mut out = HashMap::new();
+    for (key, mut evs) in events {
+        // Ends sort before starts at the same instant.
+        evs.sort_by_key(|&(t, d)| (t, d));
+        let (mut cur, mut max) = (0i32, 0i32);
+        for (_, d) in evs {
+            cur += d;
+            max = max.max(cur);
+        }
+        out.insert(key, max.max(1) as usize);
+    }
+    out
+}
+
+/// Convenience: replay with the original durations.
+pub fn replay_original(
+    model: &ExecutionModel,
+    trace: &ExecutionTrace,
+    cfg: &ReplayConfig,
+) -> ReplayResult {
+    replay(model, trace, &|id| trace.instance(id).duration(), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::execution::{ExecutionModelBuilder, PhaseTypeId, Repeat};
+    use crate::trace::execution::TraceBuilder;
+    use crate::trace::timeslice::MILLIS;
+
+    /// job -> step(seq) -> task(par); load -> execute -> output at top.
+    fn model() -> ExecutionModel {
+        let mut b = ExecutionModelBuilder::new("job");
+        let r = b.root();
+        let load = b.child(r, "load", Repeat::Once);
+        let exec = b.child(r, "execute", Repeat::Once);
+        b.edge(load, exec);
+        let step = b.child(exec, "step", Repeat::Sequential);
+        let _task = b.child(step, "task", Repeat::Parallel);
+        b.build()
+    }
+
+    fn ty(m: &ExecutionModel, name: &str) -> PhaseTypeId {
+        m.find_by_name(name).unwrap()
+    }
+
+    /// Two sequential steps, two parallel tasks each, on one machine.
+    fn build_trace(m: &ExecutionModel, task_ms: [[u64; 2]; 2]) -> ExecutionTrace {
+        let mut tb = TraceBuilder::new(m);
+        let total = 10 + task_ms[0].iter().max().unwrap() + task_ms[1].iter().max().unwrap();
+        tb.add_phase(&[("job", 0)], 0, total * MILLIS, None, None).unwrap();
+        tb.add_phase(&[("job", 0), ("load", 0)], 0, 10 * MILLIS, Some(0), Some(0))
+            .unwrap();
+        let mut t0 = 10u64;
+        tb.add_phase(
+            &[("job", 0), ("execute", 0)],
+            t0 * MILLIS,
+            total * MILLIS,
+            None,
+            None,
+        )
+        .unwrap();
+        for (s, durs) in task_ms.iter().enumerate() {
+            let step_len = *durs.iter().max().unwrap();
+            tb.add_phase(
+                &[("job", 0), ("execute", 0), ("step", s as u32)],
+                t0 * MILLIS,
+                (t0 + step_len) * MILLIS,
+                None,
+                None,
+            )
+            .unwrap();
+            for (k, &d) in durs.iter().enumerate() {
+                tb.add_phase(
+                    &[
+                        ("job", 0),
+                        ("execute", 0),
+                        ("step", s as u32),
+                        ("task", k as u32),
+                    ],
+                    t0 * MILLIS,
+                    (t0 + d) * MILLIS,
+                    Some(0),
+                    Some(k as u16),
+                )
+                .unwrap();
+            }
+            t0 += step_len;
+        }
+        tb.build().unwrap()
+    }
+
+    #[test]
+    fn replay_original_reproduces_makespan() {
+        let m = model();
+        let trace = build_trace(&m, [[20, 30], [40, 10]]);
+        let r = replay_original(&m, &trace, &ReplayConfig::default());
+        // 10 (load) + 30 (step 0) + 40 (step 1) = 80 ms.
+        assert_eq!(r.makespan, 80 * MILLIS);
+    }
+
+    #[test]
+    fn balanced_durations_shrink_makespan() {
+        let m = model();
+        let trace = build_trace(&m, [[20, 30], [40, 10]]);
+        let task_ty = ty(&m, "task");
+        // Balance each step's tasks to their mean: 25/25 and 25/25.
+        let r = replay(
+            &m,
+            &trace,
+            &|id| {
+                let inst = trace.instance(id);
+                if inst.type_id == task_ty {
+                    25 * MILLIS
+                } else {
+                    inst.duration()
+                }
+            },
+            &ReplayConfig::default(),
+        );
+        assert_eq!(r.makespan, 60 * MILLIS);
+    }
+
+    #[test]
+    fn sequential_steps_never_overlap() {
+        let m = model();
+        let trace = build_trace(&m, [[20, 30], [40, 10]]);
+        let r = replay_original(&m, &trace, &ReplayConfig::default());
+        let step_ty = ty(&m, "step");
+        let steps: Vec<_> = trace.instances_of_type(step_ty).collect();
+        let (s0, s1) = (steps[0].id.0 as usize, steps[1].id.0 as usize);
+        assert!(r.end[s0] <= r.start[s1]);
+    }
+
+    #[test]
+    fn model_edges_order_load_before_execute() {
+        let m = model();
+        let trace = build_trace(&m, [[20, 30], [40, 10]]);
+        let r = replay_original(&m, &trace, &ReplayConfig::default());
+        let load_ty = ty(&m, "load");
+        let exec_ty = ty(&m, "execute");
+        let load = trace.instances_of_type(load_ty).next().unwrap().id.0 as usize;
+        let exec = trace.instances_of_type(exec_ty).next().unwrap().id.0 as usize;
+        assert!(r.end[load] <= r.start[exec]);
+        assert_eq!(r.end[load], 10 * MILLIS);
+    }
+
+    #[test]
+    fn concurrency_limit_serializes_tasks() {
+        // Both tasks ran concurrently in the original trace on threads 0/1,
+        // so two slots exist; shrinking to a trace where they were serial
+        // (thread overlap 1) must serialize the replay too.
+        let m = model();
+        let mut tb = TraceBuilder::new(&m);
+        tb.add_phase(&[("job", 0)], 0, 100 * MILLIS, None, None).unwrap();
+        tb.add_phase(&[("job", 0), ("load", 0)], 0, 0, Some(0), Some(0))
+            .unwrap();
+        tb.add_phase(&[("job", 0), ("execute", 0)], 0, 100 * MILLIS, None, None)
+            .unwrap();
+        tb.add_phase(
+            &[("job", 0), ("execute", 0), ("step", 0)],
+            0,
+            100 * MILLIS,
+            None,
+            None,
+        )
+        .unwrap();
+        // Serial in the original: task0 0-50, task1 50-100.
+        tb.add_phase(
+            &[("job", 0), ("execute", 0), ("step", 0), ("task", 0)],
+            0,
+            50 * MILLIS,
+            Some(0),
+            Some(0),
+        )
+        .unwrap();
+        tb.add_phase(
+            &[("job", 0), ("execute", 0), ("step", 0), ("task", 1)],
+            50 * MILLIS,
+            100 * MILLIS,
+            Some(0),
+            Some(0),
+        )
+        .unwrap();
+        let trace = tb.build().unwrap();
+        let r = replay_original(&m, &trace, &ReplayConfig::default());
+        assert_eq!(r.makespan, 100 * MILLIS);
+        // Without concurrency enforcement they run in parallel.
+        let r2 = replay_original(
+            &m,
+            &trace,
+            &ReplayConfig {
+                enforce_concurrency: false,
+            },
+        );
+        assert_eq!(r2.makespan, 50 * MILLIS);
+    }
+
+    #[test]
+    fn shorter_durations_never_increase_makespan() {
+        let m = model();
+        let trace = build_trace(&m, [[20, 30], [40, 10]]);
+        let base = replay_original(&m, &trace, &ReplayConfig::default());
+        let shrunk = replay(
+            &m,
+            &trace,
+            &|id| trace.instance(id).duration() / 2,
+            &ReplayConfig::default(),
+        );
+        assert!(shrunk.makespan <= base.makespan);
+    }
+
+    #[test]
+    fn different_machines_have_independent_slots() {
+        let m = model();
+        let mut tb = TraceBuilder::new(&m);
+        tb.add_phase(&[("job", 0)], 0, 50 * MILLIS, None, None).unwrap();
+        tb.add_phase(&[("job", 0), ("load", 0)], 0, 0, Some(0), Some(0))
+            .unwrap();
+        tb.add_phase(&[("job", 0), ("execute", 0)], 0, 50 * MILLIS, None, None)
+            .unwrap();
+        tb.add_phase(
+            &[("job", 0), ("execute", 0), ("step", 0)],
+            0,
+            50 * MILLIS,
+            None,
+            None,
+        )
+        .unwrap();
+        // One task per machine, concurrent.
+        for k in 0..2u32 {
+            tb.add_phase(
+                &[("job", 0), ("execute", 0), ("step", 0), ("task", k)],
+                0,
+                50 * MILLIS,
+                Some(k as u16),
+                Some(0),
+            )
+            .unwrap();
+        }
+        let trace = tb.build().unwrap();
+        let r = replay_original(&m, &trace, &ReplayConfig::default());
+        assert_eq!(r.makespan, 50 * MILLIS);
+    }
+}

@@ -1,0 +1,14 @@
+//! Result presentation (component 10 of the paper's lifecycle): aligned
+//! text tables, CSV export, and time-series rendering for profiles.
+
+pub mod gantt;
+pub mod html;
+pub mod summary;
+pub mod table;
+pub mod timeseries;
+
+pub use gantt::{render_gantt, GanttConfig};
+pub use html::{render_html_report, HtmlConfig};
+pub use summary::{blocked_time_table, machine_table, usage_by_type, usage_table};
+pub use table::{eng, pct, secs, Table};
+pub use timeseries::{render_presence, render_series};

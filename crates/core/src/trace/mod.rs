@@ -1,0 +1,9 @@
+//! Execution and resource traces: what one workload run looked like.
+
+pub mod execution;
+pub mod resource;
+pub mod timeslice;
+
+pub use execution::{BlockingEvent, ExecutionTrace, InstanceId, PhaseInstance, TraceBuilder};
+pub use resource::{Measurement, ResourceIdx, ResourceInstance, ResourceTrace};
+pub use timeslice::{Nanos, TimesliceGrid, MILLIS};

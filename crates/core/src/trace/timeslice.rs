@@ -1,0 +1,179 @@
+//! Time discretization (§III-C).
+//!
+//! Grade10 discretizes time into fixed-length timeslices, assuming the system
+//! is in steady state within a slice: resource consumption is constant and
+//! phases start/end only at slice boundaries. The slice duration is the key
+//! knob trading analysis granularity against data volume; the paper uses
+//! 10 ms in practice.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in time, nanoseconds since the start of the analyzed execution.
+pub type Nanos = u64;
+
+/// Nanoseconds per millisecond, handy for building test times.
+pub const MILLIS: Nanos = 1_000_000;
+
+/// A uniform grid of timeslices covering `[origin, origin + n * slice)`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimesliceGrid {
+    origin: Nanos,
+    slice: Nanos,
+    num_slices: usize,
+}
+
+impl TimesliceGrid {
+    /// Builds a grid of `slice`-length slices from `origin` that covers
+    /// through `end` (at least one slice).
+    pub fn covering(origin: Nanos, end: Nanos, slice: Nanos) -> Self {
+        assert!(slice > 0, "slice duration must be positive");
+        assert!(end >= origin, "grid end before origin");
+        let span = end - origin;
+        let num_slices = (span.div_ceil(slice)).max(1) as usize;
+        TimesliceGrid {
+            origin,
+            slice,
+            num_slices,
+        }
+    }
+
+    /// Slice duration in nanoseconds.
+    pub fn slice_nanos(&self) -> Nanos {
+        self.slice
+    }
+
+    /// Slice duration in seconds.
+    pub fn slice_secs(&self) -> f64 {
+        self.slice as f64 / 1e9
+    }
+
+    /// Number of slices.
+    pub fn num_slices(&self) -> usize {
+        self.num_slices
+    }
+
+    /// Grid origin.
+    pub fn origin(&self) -> Nanos {
+        self.origin
+    }
+
+    /// Index of the slice containing `t`, clamped to the grid.
+    pub fn slice_of(&self, t: Nanos) -> usize {
+        if t <= self.origin {
+            return 0;
+        }
+        (((t - self.origin) / self.slice) as usize).min(self.num_slices - 1)
+    }
+
+    /// Nearest slice *boundary* index for `t` (0 ..= num_slices). Phase
+    /// start/ends snap to boundaries per the steady-state assumption.
+    pub fn snap(&self, t: Nanos) -> usize {
+        if t <= self.origin {
+            return 0;
+        }
+        let idx = ((t - self.origin + self.slice / 2) / self.slice) as usize;
+        idx.min(self.num_slices)
+    }
+
+    /// `[start, end)` of slice `i` in nanoseconds.
+    pub fn bounds(&self, i: usize) -> (Nanos, Nanos) {
+        assert!(i < self.num_slices, "slice {i} out of range");
+        let s = self.origin + self.slice * i as Nanos;
+        (s, s + self.slice)
+    }
+
+    /// Fraction of slice `i` overlapped by the interval `[a, b)`.
+    pub fn overlap_fraction(&self, i: usize, a: Nanos, b: Nanos) -> f64 {
+        let (s, e) = self.bounds(i);
+        let lo = a.max(s);
+        let hi = b.min(e);
+        if hi <= lo {
+            0.0
+        } else {
+            (hi - lo) as f64 / self.slice as f64
+        }
+    }
+
+    /// The slice-index range `[first, last)` a `[a, b)` interval overlaps,
+    /// clamped to the grid. Empty range if the interval is empty.
+    pub fn slice_range(&self, a: Nanos, b: Nanos) -> (usize, usize) {
+        if b <= a {
+            return (0, 0);
+        }
+        let first = self.slice_of(a);
+        let last = if b <= self.origin {
+            0
+        } else {
+            ((b - self.origin).div_ceil(self.slice) as usize).min(self.num_slices)
+        };
+        (first, last.max(first))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_100ms_10ms() -> TimesliceGrid {
+        TimesliceGrid::covering(0, 100 * MILLIS, 10 * MILLIS)
+    }
+
+    #[test]
+    fn covering_counts_slices() {
+        let g = grid_100ms_10ms();
+        assert_eq!(g.num_slices(), 10);
+        // Non-multiple span rounds up.
+        let g2 = TimesliceGrid::covering(0, 95 * MILLIS, 10 * MILLIS);
+        assert_eq!(g2.num_slices(), 10);
+        // Degenerate span still has a slice.
+        let g3 = TimesliceGrid::covering(5, 5, 10);
+        assert_eq!(g3.num_slices(), 1);
+    }
+
+    #[test]
+    fn slice_of_and_bounds() {
+        let g = grid_100ms_10ms();
+        assert_eq!(g.slice_of(0), 0);
+        assert_eq!(g.slice_of(10 * MILLIS), 1);
+        assert_eq!(g.slice_of(99 * MILLIS), 9);
+        assert_eq!(g.slice_of(1000 * MILLIS), 9); // clamped
+        assert_eq!(g.bounds(3), (30 * MILLIS, 40 * MILLIS));
+    }
+
+    #[test]
+    fn snap_rounds_to_nearest_boundary() {
+        let g = grid_100ms_10ms();
+        assert_eq!(g.snap(14 * MILLIS), 1);
+        assert_eq!(g.snap(15 * MILLIS), 2);
+        assert_eq!(g.snap(16 * MILLIS), 2);
+        assert_eq!(g.snap(100 * MILLIS), 10);
+        assert_eq!(g.snap(9999 * MILLIS), 10); // clamped to boundary count
+    }
+
+    #[test]
+    fn overlap_fraction_partial() {
+        let g = grid_100ms_10ms();
+        assert_eq!(g.overlap_fraction(0, 0, 10 * MILLIS), 1.0);
+        assert_eq!(g.overlap_fraction(0, 5 * MILLIS, 20 * MILLIS), 0.5);
+        assert_eq!(g.overlap_fraction(1, 5 * MILLIS, 12 * MILLIS), 0.2);
+        assert_eq!(g.overlap_fraction(5, 0, 10 * MILLIS), 0.0);
+    }
+
+    #[test]
+    fn slice_range_clamps() {
+        let g = grid_100ms_10ms();
+        assert_eq!(g.slice_range(0, 30 * MILLIS), (0, 3));
+        assert_eq!(g.slice_range(25 * MILLIS, 45 * MILLIS), (2, 5));
+        assert_eq!(g.slice_range(95 * MILLIS, 500 * MILLIS), (9, 10));
+        assert_eq!(g.slice_range(50 * MILLIS, 50 * MILLIS), (0, 0));
+    }
+
+    #[test]
+    fn nonzero_origin() {
+        let g = TimesliceGrid::covering(100 * MILLIS, 200 * MILLIS, 10 * MILLIS);
+        assert_eq!(g.num_slices(), 10);
+        assert_eq!(g.slice_of(105 * MILLIS), 0);
+        assert_eq!(g.slice_of(50 * MILLIS), 0); // clamped below origin
+        assert_eq!(g.bounds(0).0, 100 * MILLIS);
+    }
+}

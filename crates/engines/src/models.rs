@@ -1,0 +1,343 @@
+//! The "expert input" of the paper (§III-B, §V): execution models, resource
+//! models, and attribution rules for the two simulated engines.
+//!
+//! The paper reports that fully modeling PowerGraph took a week, and Giraph
+//! a second week because of its software resources (message queues, GC).
+//! These functions are that distilled knowledge for our simulated engines.
+//! Each engine comes in a *tuned* variant (Exact CPU rules for compute
+//! threads, None rules for phases that cannot use a resource) and an
+//! *untuned* variant (the implicit `Variable(1.0)` default everywhere) —
+//! the two configurations Fig. 3 and Table II contrast.
+
+use grade10_core::model::{
+    AttributionRule, ExecutionModel, ExecutionModelBuilder, Repeat, ResourceModel, RuleSet,
+};
+
+/// Phase-type handles of the Giraph-like model, for rule construction and
+/// analysis lookups.
+#[derive(Clone, Copy, Debug)]
+pub struct PregelPhases {
+    /// Per-worker graph loading.
+    pub load: grade10_core::model::PhaseTypeId,
+    /// Reading the input split from storage (leaf under load).
+    pub load_read: grade10_core::model::PhaseTypeId,
+    /// Parsing and shuffling the split (leaf under load).
+    pub load_parse: grade10_core::model::PhaseTypeId,
+    /// The algorithm-execution container.
+    pub execute: grade10_core::model::PhaseTypeId,
+    /// One BSP superstep (sequential).
+    pub superstep: grade10_core::model::PhaseTypeId,
+    /// One worker's share of a superstep/iteration.
+    pub worker: grade10_core::model::PhaseTypeId,
+    /// Per-superstep worker preparation (the paper's P2.x.1).
+    pub prepare: grade10_core::model::PhaseTypeId,
+    /// The worker's compute container.
+    pub compute: grade10_core::model::PhaseTypeId,
+    /// A compute thread (leaf).
+    pub thread: grade10_core::model::PhaseTypeId,
+    /// The residual message drain after compute (leaf).
+    pub communicate: grade10_core::model::PhaseTypeId,
+    /// Per-worker result writing.
+    pub output: grade10_core::model::PhaseTypeId,
+}
+
+/// Builds the Giraph-like execution model:
+///
+/// ```text
+/// giraph_job
+/// ├── load (per worker): read → parse    load → execute → output
+/// ├── execute
+/// │   └── superstep (sequential)
+/// │       └── worker (per machine)
+/// │           ├── prepare
+/// │           ├── compute ── thread (per compute thread)
+/// │           └── communicate    prepare → compute → communicate
+/// └── output (per worker)
+/// ```
+///
+/// Messages are sent while compute runs (their production is part of the
+/// thread phases); `communicate` is the *tail* after the last thread
+/// finishes, while the residual queue drains. The end-of-superstep barrier
+/// wait is not a phase — it appears as a `barrier` blocking event on the
+/// worker — so that the replay simulator, which treats phase durations as
+/// fixed, does not freeze straggler wait into the schedule and mask
+/// improvements.
+pub fn pregel_model() -> (ExecutionModel, PregelPhases) {
+    let mut b = ExecutionModelBuilder::new("giraph_job");
+    let root = b.root();
+    let load = b.child(root, "load", Repeat::Parallel);
+    let load_read = b.child(load, "read", Repeat::Once);
+    let load_parse = b.child(load, "parse", Repeat::Once);
+    b.edge(load_read, load_parse);
+    let execute = b.child(root, "execute", Repeat::Once);
+    let output = b.child(root, "output", Repeat::Parallel);
+    b.edge(load, execute);
+    b.edge(execute, output);
+    let superstep = b.child(execute, "superstep", Repeat::Sequential);
+    let worker = b.child(superstep, "worker", Repeat::Parallel);
+    let prepare = b.child(worker, "prepare", Repeat::Once);
+    let compute = b.child(worker, "compute", Repeat::Once);
+    let thread = b.child(compute, "thread", Repeat::Parallel);
+    let communicate = b.child(worker, "communicate", Repeat::Once);
+    b.edge(prepare, compute);
+    b.edge(compute, communicate);
+    let model = b.build();
+    (
+        model,
+        PregelPhases {
+            load,
+            load_read,
+            load_parse,
+            execute,
+            superstep,
+            worker,
+            prepare,
+            compute,
+            thread,
+            communicate,
+            output,
+        },
+    )
+}
+
+/// Resource model shared by both engines' infrastructures, plus the
+/// Giraph-specific software resources.
+pub fn pregel_resource_model() -> ResourceModel {
+    ResourceModel::new()
+        .consumable("cpu")
+        .consumable("net_out")
+        .consumable("net_in")
+        .consumable("disk")
+        .blocking("gc")
+        .blocking("msgq")
+        .blocking("barrier")
+        .blocking("flush")
+}
+
+/// Tuned attribution rules for the Giraph-like engine. `cores` is the CPU
+/// capacity per machine — an active compute thread demands exactly one core
+/// (`Exact(1/cores)`), the insight Fig. 3b demonstrates.
+pub fn pregel_rules_tuned(phases: &PregelPhases, cores: f64) -> RuleSet {
+    let one_core = AttributionRule::Exact((1.0 / cores).min(1.0));
+    RuleSet::new()
+        .with_default(AttributionRule::None)
+        // Compute threads: exactly one core; they also produce and consume
+        // the message traffic that flows while compute runs.
+        .rule(phases.thread, "cpu", one_core)
+        .rule(phases.thread, "net_out", AttributionRule::Variable(1.0))
+        .rule(phases.thread, "net_in", AttributionRule::Variable(1.0))
+        // Prepare: bookkeeping CPU before the threads start.
+        .rule(phases.prepare, "cpu", AttributionRule::Variable(0.5))
+        // Communicate (residual queue drain): network-dominated, light CPU.
+        .rule(phases.communicate, "net_out", AttributionRule::Variable(2.0))
+        .rule(phases.communicate, "net_in", AttributionRule::Variable(2.0))
+        .rule(phases.communicate, "cpu", AttributionRule::Variable(0.25))
+        // Load: the read leaf hits storage; the parse leaf burns CPU and
+        // shuffles the split across the cluster.
+        .rule(phases.load_read, "disk", AttributionRule::Variable(1.0))
+        .rule(phases.load_parse, "cpu", AttributionRule::Variable(1.0))
+        .rule(phases.load_parse, "net_out", AttributionRule::Variable(1.0))
+        .rule(phases.load_parse, "net_in", AttributionRule::Variable(1.0))
+        // Output: write-side CPU and the result write.
+        .rule(phases.output, "cpu", AttributionRule::Variable(1.0))
+        .rule(phases.output, "disk", AttributionRule::Variable(1.0))
+}
+
+/// Untuned rules: the paper's implicit default — every phase `Variable(1.0)`
+/// on every resource.
+pub fn pregel_rules_untuned() -> RuleSet {
+    RuleSet::new()
+}
+
+/// Phase-type handles of the PowerGraph-like model.
+#[derive(Clone, Copy, Debug)]
+pub struct GasPhases {
+    /// Per-worker graph loading.
+    pub load: grade10_core::model::PhaseTypeId,
+    /// Reading the input split from storage (leaf under load).
+    pub load_read: grade10_core::model::PhaseTypeId,
+    /// Parsing and shuffling the split (leaf under load).
+    pub load_parse: grade10_core::model::PhaseTypeId,
+    /// The algorithm-execution container.
+    pub execute: grade10_core::model::PhaseTypeId,
+    /// One GAS iteration (sequential).
+    pub iteration: grade10_core::model::PhaseTypeId,
+    /// One worker's share of a superstep/iteration.
+    pub worker: grade10_core::model::PhaseTypeId,
+    /// The Gather minor step container.
+    pub gather: grade10_core::model::PhaseTypeId,
+    /// A gather worker thread (leaf).
+    pub gather_thread: grade10_core::model::PhaseTypeId,
+    /// The Apply minor step container.
+    pub apply: grade10_core::model::PhaseTypeId,
+    /// An apply worker thread (leaf).
+    pub apply_thread: grade10_core::model::PhaseTypeId,
+    /// The Scatter minor step container.
+    pub scatter: grade10_core::model::PhaseTypeId,
+    /// A scatter worker thread (leaf).
+    pub scatter_thread: grade10_core::model::PhaseTypeId,
+    /// The replica-exchange drain (leaf).
+    pub exchange: grade10_core::model::PhaseTypeId,
+}
+
+/// Builds the PowerGraph-like execution model:
+///
+/// ```text
+/// powergraph_job
+/// ├── load (per worker)
+/// └── execute
+///     └── iteration (sequential)
+///         └── worker (per machine)
+///             ├── gather  ── gather_thread (per thread)
+///             ├── apply   ── apply_thread
+///             ├── scatter ── scatter_thread
+///             └── exchange            gather → apply → scatter → exchange
+/// ```
+pub fn gas_model() -> (ExecutionModel, GasPhases) {
+    let mut b = ExecutionModelBuilder::new("powergraph_job");
+    let root = b.root();
+    let load = b.child(root, "load", Repeat::Parallel);
+    let load_read = b.child(load, "read", Repeat::Once);
+    let load_parse = b.child(load, "parse", Repeat::Once);
+    b.edge(load_read, load_parse);
+    let execute = b.child(root, "execute", Repeat::Once);
+    b.edge(load, execute);
+    let iteration = b.child(execute, "iteration", Repeat::Sequential);
+    let worker = b.child(iteration, "worker", Repeat::Parallel);
+    let gather = b.child(worker, "gather", Repeat::Once);
+    let gather_thread = b.child(gather, "thread", Repeat::Parallel);
+    let apply = b.child(worker, "apply", Repeat::Once);
+    let apply_thread = b.child(apply, "thread", Repeat::Parallel);
+    let scatter = b.child(worker, "scatter", Repeat::Once);
+    let scatter_thread = b.child(scatter, "thread", Repeat::Parallel);
+    let exchange = b.child(worker, "exchange", Repeat::Once);
+    b.edge(gather, apply);
+    b.edge(apply, scatter);
+    b.edge(scatter, exchange);
+    let model = b.build();
+    (
+        model,
+        GasPhases {
+            load,
+            load_read,
+            load_parse,
+            execute,
+            iteration,
+            worker,
+            gather,
+            gather_thread,
+            apply,
+            apply_thread,
+            scatter,
+            scatter_thread,
+            exchange,
+        },
+    )
+}
+
+/// PowerGraph resource model: no GC and no producer-stalling queues — the
+/// architectural difference the paper highlights in §IV-C.
+pub fn gas_resource_model() -> ResourceModel {
+    ResourceModel::new()
+        .consumable("cpu")
+        .consumable("net_out")
+        .consumable("net_in")
+        .consumable("disk")
+        .blocking("barrier")
+        .blocking("flush")
+}
+
+/// Tuned attribution rules for the PowerGraph-like engine ("comprehensive
+/// and tuned" per Table II).
+pub fn gas_rules_tuned(phases: &GasPhases, cores: f64) -> RuleSet {
+    let one_core = AttributionRule::Exact((1.0 / cores).min(1.0));
+    RuleSet::new()
+        .with_default(AttributionRule::None)
+        .rule(phases.gather_thread, "cpu", one_core)
+        .rule(phases.apply_thread, "cpu", one_core)
+        .rule(phases.scatter_thread, "cpu", one_core)
+        // Gather and apply interleave communication on their own threads.
+        .rule(phases.gather_thread, "net_out", AttributionRule::Variable(1.0))
+        .rule(phases.gather_thread, "net_in", AttributionRule::Variable(1.0))
+        .rule(phases.apply_thread, "net_out", AttributionRule::Variable(1.0))
+        .rule(phases.apply_thread, "net_in", AttributionRule::Variable(1.0))
+        .rule(phases.exchange, "net_out", AttributionRule::Variable(2.0))
+        .rule(phases.exchange, "net_in", AttributionRule::Variable(2.0))
+        .rule(phases.load_read, "disk", AttributionRule::Variable(1.0))
+        .rule(phases.load_parse, "cpu", AttributionRule::Variable(1.0))
+        .rule(phases.load_parse, "net_out", AttributionRule::Variable(1.0))
+        .rule(phases.load_parse, "net_in", AttributionRule::Variable(1.0))
+}
+
+/// Untuned rules for the GAS engine.
+pub fn gas_rules_untuned() -> RuleSet {
+    RuleSet::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pregel_model_shape() {
+        let (m, p) = pregel_model();
+        assert_eq!(m.name(m.root()), "giraph_job");
+        assert_eq!(m.repeat(p.superstep), Repeat::Sequential);
+        assert!(m.is_leaf(p.thread));
+        assert!(m.is_leaf(p.communicate));
+        assert!(!m.is_leaf(p.compute));
+        // prepare -> compute -> communicate within a worker.
+        assert_eq!(
+            m.edges(p.worker),
+            &[(p.prepare, p.compute), (p.compute, p.communicate)]
+        );
+        // Imbalance grouping of compute threads scopes to the superstep.
+        assert_eq!(m.grouping_scope(p.thread), p.superstep);
+    }
+
+    #[test]
+    fn gas_model_shape() {
+        let (m, p) = gas_model();
+        assert_eq!(
+            m.type_path(p.gather_thread),
+            "powergraph_job.execute.iteration.worker.gather.thread"
+        );
+        assert_eq!(m.grouping_scope(p.gather_thread), p.iteration);
+        assert_eq!(m.edges(p.worker).len(), 3);
+    }
+
+    #[test]
+    fn tuned_rules_give_exact_cpu_to_threads() {
+        let (_, p) = pregel_model();
+        let rules = pregel_rules_tuned(&p, 8.0);
+        assert_eq!(
+            rules.get(p.thread, "cpu"),
+            AttributionRule::Exact(0.125)
+        );
+        // Containers carry no demand of their own.
+        assert!(rules.get(p.worker, "cpu").is_none());
+        // Threads produce the in-compute message traffic.
+        assert_eq!(
+            rules.get(p.thread, "net_out"),
+            AttributionRule::Variable(1.0)
+        );
+    }
+
+    #[test]
+    fn untuned_rules_are_variable_everywhere() {
+        let (_, p) = pregel_model();
+        let rules = pregel_rules_untuned();
+        assert_eq!(rules.get(p.worker, "cpu"), AttributionRule::Variable(1.0));
+        assert_eq!(rules.get(p.thread, "net_in"), AttributionRule::Variable(1.0));
+    }
+
+    #[test]
+    fn resource_models_differ_in_software_resources() {
+        let giraph = pregel_resource_model();
+        let pg = gas_resource_model();
+        assert!(giraph.find("gc").is_some());
+        assert!(giraph.find("msgq").is_some());
+        assert!(pg.find("gc").is_none());
+        assert!(pg.find("msgq").is_none());
+    }
+}

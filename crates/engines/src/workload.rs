@@ -1,0 +1,363 @@
+//! Workload orchestration: dataset × algorithm × engine, one call.
+//!
+//! The paper's evaluation matrix is eight workloads — two Graphalytics
+//! datasets × four algorithms — on each of two systems. [`WorkloadSpec`]
+//! names one cell of that matrix; [`run_workload`] generates the graph,
+//! runs the real algorithm to obtain its work profile, executes the profile
+//! on the corresponding simulated engine, and parses the logs into Grade10
+//! inputs, returning everything an experiment needs.
+
+use grade10_cluster::{ResourceSeries, SimOutput};
+use grade10_core::attribution::{build_profile, PerformanceProfile, ProfileConfig, UpsampleMode};
+use grade10_core::model::{ExecutionModel, RuleSet};
+use grade10_core::parse::build_execution_trace;
+use grade10_core::trace::{ExecutionTrace, Nanos, ResourceTrace};
+use grade10_graph::algorithms::{bfs, cdlp, lcc, pagerank, pagerank_until, sssp, wcc, WorkProfile};
+use grade10_graph::partition::{EdgeCutPartition, VertexCutPartition, WorkMapper};
+use grade10_graph::CsrGraph;
+
+use crate::bridge::{to_raw_events, to_resource_trace};
+use crate::gas::{run_gas, GasConfig, InjectedBug};
+use crate::models::{
+    gas_model, gas_rules_tuned, gas_rules_untuned, pregel_model, pregel_rules_tuned,
+    pregel_rules_untuned, GasPhases, PregelPhases,
+};
+use crate::pregel::{run_pregel, PregelConfig};
+
+/// The two datasets of the evaluation (synthetic stand-ins for the
+/// Graphalytics Graph500 and Datagen graphs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dataset {
+    /// Graph500-like R-MAT graph: `2^scale` vertices.
+    /// Graph500-like R-MAT graph: `2^scale` vertices.
+    Rmat {
+        /// log2 of the vertex count.
+        scale: u32,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Datagen-like social network.
+    /// Datagen-like social network.
+    Social {
+        /// Vertex count.
+        vertices: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl Dataset {
+    /// Short name used in tables ("g500", "dg").
+    pub fn name(&self) -> String {
+        match self {
+            Dataset::Rmat { scale, .. } => format!("g500-{scale}"),
+            Dataset::Social { vertices, .. } => format!("dg-{}k", vertices / 1000),
+        }
+    }
+
+    /// Generates the graph (with transpose).
+    pub fn generate(&self) -> CsrGraph {
+        match *self {
+            Dataset::Rmat { scale, seed } => {
+                grade10_graph::generators::rmat::RmatConfig::graph500(scale, seed).generate()
+            }
+            Dataset::Social { vertices, seed } => {
+                grade10_graph::generators::social::SocialConfig::with_size(vertices, seed)
+                    .generate()
+            }
+        }
+    }
+}
+
+/// The four Graphalytics algorithms of the paper, plus SSSP and LCC to
+/// complete the Graphalytics suite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Breadth-first search from `root`.
+    Bfs {
+        /// Source vertex.
+        root: u32,
+    },
+    /// PageRank with a fixed iteration count.
+    PageRank {
+        /// Fixed iteration count (Graphalytics semantics).
+        iterations: usize,
+    },
+    /// Weakly connected components (runs to convergence).
+    Wcc,
+    /// Community detection by label propagation.
+    Cdlp {
+        /// Fixed iteration count.
+        iterations: usize,
+    },
+    /// Single-source shortest paths from `root`.
+    Sssp {
+        /// Source vertex.
+        root: u32,
+    },
+    /// Local clustering coefficient (single pass).
+    Lcc,
+    /// PageRank iterated until the rank vector's L1 change drops below the
+    /// threshold — the dynamically converging workload of the paper's §I.
+    PageRankConverge {
+        /// Convergence threshold on the L1 delta, in millionths.
+        epsilon_millionths: u32,
+    },
+}
+
+impl Algorithm {
+    /// Short name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Bfs { .. } => "bfs",
+            Algorithm::PageRank { .. } => "pr",
+            Algorithm::Wcc => "wcc",
+            Algorithm::Cdlp { .. } => "cdlp",
+            Algorithm::Sssp { .. } => "sssp",
+            Algorithm::Lcc => "lcc",
+            Algorithm::PageRankConverge { .. } => "prc",
+        }
+    }
+
+    /// Executes the algorithm, returning its work profile.
+    pub fn run<M: WorkMapper>(&self, graph: &CsrGraph, mapper: &M) -> WorkProfile {
+        match *self {
+            Algorithm::Bfs { root } => bfs(graph, mapper, root).profile,
+            Algorithm::PageRank { iterations } => {
+                pagerank(graph, mapper, iterations, 0.85).profile
+            }
+            Algorithm::Wcc => wcc(graph, mapper).profile,
+            Algorithm::Cdlp { iterations } => cdlp(graph, mapper, iterations).profile,
+            Algorithm::Sssp { root } => sssp(graph, mapper, root).profile,
+            Algorithm::Lcc => lcc(graph, mapper).profile,
+            Algorithm::PageRankConverge { epsilon_millionths } => pagerank_until(
+                graph,
+                mapper,
+                epsilon_millionths as f64 / 1e6,
+                100,
+                0.85,
+            )
+            .profile,
+        }
+    }
+}
+
+/// Which simulated engine runs the workload.
+#[derive(Clone, Debug)]
+pub enum EngineKind {
+    /// The Giraph-like BSP engine.
+    Giraph(PregelConfig),
+    /// The PowerGraph-like GAS engine.
+    PowerGraph(GasConfig),
+}
+
+impl EngineKind {
+    /// Short name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Giraph(_) => "giraph",
+            EngineKind::PowerGraph(_) => "powergraph",
+        }
+    }
+}
+
+/// One cell of the evaluation matrix.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Input graph.
+    pub dataset: Dataset,
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// System under test.
+    pub engine: EngineKind,
+}
+
+impl WorkloadSpec {
+    /// "pr-g500-14-giraph"-style identifier.
+    pub fn name(&self) -> String {
+        format!(
+            "{}-{}-{}",
+            self.algorithm.name(),
+            self.dataset.name(),
+            self.engine.name()
+        )
+    }
+}
+
+/// Phase-type handles of whichever engine ran.
+#[derive(Clone, Copy, Debug)]
+pub enum EnginePhases {
+    /// Handles for a Giraph-like run.
+    Pregel(PregelPhases),
+    /// Handles for a PowerGraph-like run.
+    Gas(GasPhases),
+}
+
+/// Everything one workload execution produced, ready for Grade10 analysis.
+pub struct WorkloadRun {
+    /// The workload that ran.
+    pub spec: WorkloadSpec,
+    /// The engine's execution model.
+    pub model: ExecutionModel,
+    /// Phase-type handles of the engine that ran.
+    pub phases: EnginePhases,
+    /// Tuned attribution rules (the expert input).
+    pub rules_tuned: RuleSet,
+    /// The paper's untuned default rules.
+    pub rules_untuned: RuleSet,
+    /// Raw simulator output (logs, ground-truth utilization, stats).
+    pub sim: SimOutput,
+    /// Sync-bug injections (PowerGraph with the bug enabled only).
+    pub injected_bugs: Vec<InjectedBug>,
+    /// Parsed execution trace.
+    pub trace: ExecutionTrace,
+    /// The algorithm's work profile (for workload-level statistics).
+    pub work: WorkProfile,
+}
+
+impl WorkloadRun {
+    /// Coarse resource trace at `downsample` × the ground-truth interval.
+    pub fn resource_trace(&self, downsample: usize) -> ResourceTrace {
+        to_resource_trace(&self.sim.series, downsample)
+    }
+
+    /// Ground-truth utilization series.
+    pub fn ground_truth(&self) -> &[ResourceSeries] {
+        &self.sim.series
+    }
+
+    /// Runs the attribution pipeline with the given rules and settings.
+    pub fn build_profile(
+        &self,
+        rules: &RuleSet,
+        downsample: usize,
+        slice: Nanos,
+        mode: UpsampleMode,
+    ) -> PerformanceProfile {
+        let rt = self.resource_trace(downsample);
+        build_profile(
+            &self.model,
+            rules,
+            &self.trace,
+            &rt,
+            &ProfileConfig {
+                slice,
+                upsample: mode,
+                ..Default::default()
+            },
+        )
+    }
+}
+
+/// Runs one workload end to end.
+pub fn run_workload(spec: &WorkloadSpec) -> WorkloadRun {
+    let graph = spec.dataset.generate();
+    match &spec.engine {
+        EngineKind::Giraph(cfg) => {
+            let part = EdgeCutPartition::hash(&graph, cfg.num_parts());
+            let work = spec.algorithm.run(&graph, &part);
+            let sim = run_pregel(&work, graph.num_vertices(), graph.num_edges(), cfg);
+            let (model, phases) = pregel_model();
+            let rules_tuned = pregel_rules_tuned(&phases, cfg.cores);
+            let trace = build_execution_trace(&model, &to_raw_events(&sim.logs))
+                .expect("engine logs must parse");
+            WorkloadRun {
+                spec: spec.clone(),
+                model,
+                phases: EnginePhases::Pregel(phases),
+                rules_tuned,
+                rules_untuned: pregel_rules_untuned(),
+                sim,
+                injected_bugs: Vec::new(),
+                trace,
+                work,
+            }
+        }
+        EngineKind::PowerGraph(cfg) => {
+            let part = VertexCutPartition::greedy(&graph, cfg.num_parts());
+            let work = spec.algorithm.run(&graph, &part);
+            let run = run_gas(&work, graph.num_edges(), cfg);
+            let (model, phases) = gas_model();
+            let rules_tuned = gas_rules_tuned(&phases, cfg.cores);
+            let trace = build_execution_trace(&model, &to_raw_events(&run.sim.logs))
+                .expect("engine logs must parse");
+            WorkloadRun {
+                spec: spec.clone(),
+                model,
+                phases: EnginePhases::Gas(phases),
+                rules_tuned,
+                rules_untuned: gas_rules_untuned(),
+                sim: run.sim,
+                injected_bugs: run.injected_bugs,
+                trace,
+                work,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grade10_core::trace::MILLIS;
+
+    fn tiny_giraph() -> WorkloadSpec {
+        WorkloadSpec {
+            dataset: Dataset::Rmat { scale: 9, seed: 3 },
+            algorithm: Algorithm::PageRank { iterations: 2 },
+            engine: EngineKind::Giraph(PregelConfig {
+                machines: 2,
+                threads: 2,
+                cores: 2.0,
+                ..Default::default()
+            }),
+        }
+    }
+
+    fn tiny_powergraph() -> WorkloadSpec {
+        WorkloadSpec {
+            dataset: Dataset::Social {
+                vertices: 2000,
+                seed: 5,
+            },
+            algorithm: Algorithm::Cdlp { iterations: 2 },
+            engine: EngineKind::PowerGraph(GasConfig {
+                machines: 2,
+                threads: 2,
+                cores: 2.0,
+                ..Default::default()
+            }),
+        }
+    }
+
+    #[test]
+    fn giraph_end_to_end_parses_and_profiles() {
+        let run = run_workload(&tiny_giraph());
+        assert!(run.trace.instances().len() > 10);
+        let prof = run.build_profile(&run.rules_tuned, 8, 10 * MILLIS, UpsampleMode::DemandGuided);
+        assert!(prof.grid.num_slices() > 10);
+        // Some CPU usage must be attributed to compute threads.
+        let total: f64 = prof.usages.iter().flat_map(|u| u.usage.iter()).sum();
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn powergraph_end_to_end_parses() {
+        let run = run_workload(&tiny_powergraph());
+        assert!(run.trace.instances().len() > 10);
+        assert_eq!(run.spec.name(), "cdlp-dg-2k-powergraph");
+        // PowerGraph runs carry injected bug metadata (possibly empty).
+        let _ = run.injected_bugs.len();
+    }
+
+    #[test]
+    fn names_compose() {
+        assert_eq!(tiny_giraph().spec_name_check(), "pr-g500-9-giraph");
+    }
+
+    impl WorkloadSpec {
+        fn spec_name_check(&self) -> String {
+            self.name()
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Single-source shortest paths (Bellman-Ford style frontier relaxation).
+//!
+//! The graphs in this repository are unweighted, so weights are synthesized
+//! deterministically from the edge endpoints — the Graphalytics SSSP workload
+//! shape (frontier-driven, more iterations than BFS, partial re-activation)
+//! is what matters for performance characterization, not the actual weights.
+
+use crate::algorithms::{WorkCollector, WorkProfile};
+use crate::partition::WorkMapper;
+use crate::{CsrGraph, VertexId};
+
+/// Distance of unreachable vertices.
+pub const UNREACHED: f64 = f64::INFINITY;
+
+/// Deterministic synthetic weight for edge `(u, v)`: in `[1.0, 2.0)`.
+#[inline]
+pub fn edge_weight(u: VertexId, v: VertexId) -> f64 {
+    let h = (u as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((v as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    1.0 + (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Result of an SSSP execution.
+pub struct SsspResult {
+    /// Shortest distance from the root (infinity if unreachable).
+    pub distance: Vec<f64>,
+    /// Per-iteration, per-partition work record.
+    pub profile: WorkProfile,
+}
+
+/// Runs frontier-based Bellman-Ford from `root`.
+pub fn sssp<M: WorkMapper>(graph: &CsrGraph, mapper: &M, root: VertexId) -> SsspResult {
+    let n = graph.num_vertices();
+    assert!((root as usize) < n);
+    let mut distance = vec![UNREACHED; n];
+    distance[root as usize] = 0.0;
+    let mut frontier = vec![root];
+    let mut collector = WorkCollector::new(graph, mapper);
+
+    while !frontier.is_empty() {
+        collector.begin_iteration();
+        let mut improved = vec![false; n];
+        let mut next = Vec::new();
+        for &v in &frontier {
+            collector.vertex_active(v);
+            let dv = distance[v as usize];
+            for (i, &w) in graph.neighbors(v).iter().enumerate() {
+                collector.edge_scan(v, i as u64, w, true);
+                let cand = dv + edge_weight(v, w);
+                if cand < distance[w as usize] {
+                    distance[w as usize] = cand;
+                    if !improved[w as usize] {
+                        improved[w as usize] = true;
+                        next.push(w);
+                        collector.vertex_updated(w);
+                    }
+                }
+            }
+        }
+        collector.end_iteration();
+        frontier = next;
+    }
+
+    SsspResult {
+        distance,
+        profile: collector.finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{rmat::RmatConfig, simple};
+    use crate::partition::EdgeCutPartition;
+
+    fn one_part(g: &CsrGraph) -> EdgeCutPartition {
+        EdgeCutPartition::hash(g, 1)
+    }
+
+    #[test]
+    fn root_distance_zero() {
+        let g = simple::path(4);
+        let r = sssp(&g, &one_part(&g), 0);
+        assert_eq!(r.distance[0], 0.0);
+        assert!(r.distance[3] > 0.0 && r.distance[3].is_finite());
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = simple::path(4);
+        let r = sssp(&g, &one_part(&g), 3);
+        assert!(r.distance[0].is_infinite());
+    }
+
+    #[test]
+    fn path_distance_is_sum_of_weights() {
+        let g = simple::path(4);
+        let r = sssp(&g, &one_part(&g), 0);
+        let expect = edge_weight(0, 1) + edge_weight(1, 2) + edge_weight(2, 3);
+        assert!((r.distance[3] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_are_deterministic_and_bounded() {
+        for (u, v) in [(0, 1), (5, 9), (1000, 3)] {
+            let w = edge_weight(u, v);
+            assert_eq!(w, edge_weight(u, v));
+            assert!((1.0..2.0).contains(&w), "weight {w}");
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_reference() {
+        let g = RmatConfig::graph500(8, 31).generate();
+        let r = sssp(&g, &one_part(&g), 0);
+        // Reference: Dijkstra with a binary heap.
+        let n = g.num_vertices();
+        let mut dist = vec![UNREACHED; n];
+        dist[0] = 0.0;
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push((std::cmp::Reverse(ordered_float(0.0)), 0 as VertexId));
+        while let Some((std::cmp::Reverse(d), v)) = heap.pop() {
+            let d = f64::from_bits(d);
+            if d > dist[v as usize] {
+                continue;
+            }
+            for &w in g.neighbors(v) {
+                let cand = d + edge_weight(v, w);
+                if cand < dist[w as usize] {
+                    dist[w as usize] = cand;
+                    heap.push((std::cmp::Reverse(ordered_float(cand)), w));
+                }
+            }
+        }
+        for v in 0..n {
+            if dist[v].is_infinite() {
+                assert!(r.distance[v].is_infinite());
+            } else {
+                assert!(
+                    (r.distance[v] - dist[v]).abs() < 1e-9,
+                    "vertex {v}: {} vs {}",
+                    r.distance[v],
+                    dist[v]
+                );
+            }
+        }
+    }
+
+    /// Non-negative floats order correctly by their bit patterns.
+    fn ordered_float(x: f64) -> u64 {
+        x.to_bits()
+    }
+
+    #[test]
+    fn takes_at_least_as_many_iterations_as_bfs() {
+        let g = RmatConfig::graph500(8, 31).generate();
+        let s = sssp(&g, &one_part(&g), 0);
+        let b = crate::algorithms::bfs(&g, &one_part(&g), 0);
+        assert!(s.profile.num_iterations() >= b.profile.num_iterations());
+    }
+}

@@ -1,0 +1,342 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! All algorithms in this crate operate on [`CsrGraph`]. The representation
+//! stores out-edges in a single contiguous `targets` array indexed by a
+//! per-vertex `offsets` array, which keeps neighbor iteration sequential in
+//! memory — the dominant access pattern of every graph algorithm here.
+
+use crate::{Edge, VertexId};
+
+/// A directed graph in CSR form. Vertices are dense integers `0..n`.
+///
+/// The graph may optionally carry its transpose (in-edges), which algorithms
+/// that pull along incoming edges (PageRank, CDLP gather) require. Build it
+/// once with [`CsrGraph::with_transpose`] and share it.
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+    /// Transposed adjacency (in-edges), present if requested.
+    in_offsets: Option<Vec<u64>>,
+    in_sources: Option<Vec<VertexId>>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from an edge list. Self-loops are kept; parallel
+    /// edges are kept (generators deduplicate where the dataset calls for it).
+    ///
+    /// `num_vertices` must be at least `max vertex id + 1`; passing a larger
+    /// value creates isolated vertices, which is valid.
+    pub fn from_edges(num_vertices: usize, edges: &[Edge]) -> Self {
+        let mut degrees = vec![0u64; num_vertices];
+        for &(src, dst) in edges {
+            assert!(
+                (src as usize) < num_vertices && (dst as usize) < num_vertices,
+                "edge ({src}, {dst}) out of range for {num_vertices} vertices"
+            );
+            degrees[src as usize] += 1;
+        }
+        let mut offsets = vec![0u64; num_vertices + 1];
+        for v in 0..num_vertices {
+            offsets[v + 1] = offsets[v] + degrees[v];
+        }
+        let mut targets = vec![0 as VertexId; edges.len()];
+        let mut cursor = offsets.clone();
+        for &(src, dst) in edges {
+            let slot = cursor[src as usize];
+            targets[slot as usize] = dst;
+            cursor[src as usize] += 1;
+        }
+        // Sorted adjacency makes neighbor scans cache-friendly and output
+        // deterministic regardless of the input edge order.
+        for v in 0..num_vertices {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            targets[lo..hi].sort_unstable();
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            in_offsets: None,
+            in_sources: None,
+        }
+    }
+
+    /// Builds the graph and precomputes its transpose.
+    pub fn with_transpose(num_vertices: usize, edges: &[Edge]) -> Self {
+        let mut g = Self::from_edges(num_vertices, edges);
+        g.build_transpose();
+        g
+    }
+
+    /// Computes and stores the in-edge adjacency. Idempotent.
+    pub fn build_transpose(&mut self) {
+        if self.in_offsets.is_some() {
+            return;
+        }
+        let n = self.num_vertices();
+        let mut in_deg = vec![0u64; n];
+        for &t in &self.targets {
+            in_deg[t as usize] += 1;
+        }
+        let mut in_offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            in_offsets[v + 1] = in_offsets[v] + in_deg[v];
+        }
+        let mut in_sources = vec![0 as VertexId; self.targets.len()];
+        let mut cursor = in_offsets.clone();
+        for src in 0..n {
+            for &dst in self.neighbors(src as VertexId) {
+                let slot = cursor[dst as usize];
+                in_sources[slot as usize] = src as VertexId;
+                cursor[dst as usize] += 1;
+            }
+        }
+        self.in_offsets = Some(in_offsets);
+        self.in_sources = Some(in_sources);
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// In-degree of `v`. Panics unless the transpose was built.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> u64 {
+        let off = self
+            .in_offsets
+            .as_ref()
+            .expect("in_degree requires build_transpose()");
+        off[v as usize + 1] - off[v as usize]
+    }
+
+    /// Out-neighbors of `v` (sorted ascending).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let (lo, hi) = (self.offsets[v as usize], self.offsets[v as usize + 1]);
+        &self.targets[lo as usize..hi as usize]
+    }
+
+    /// In-neighbors of `v`. Panics unless the transpose was built.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let off = self
+            .in_offsets
+            .as_ref()
+            .expect("in_neighbors requires build_transpose()");
+        let src = self.in_sources.as_ref().unwrap();
+        let (lo, hi) = (off[v as usize], off[v as usize + 1]);
+        &src[lo as usize..hi as usize]
+    }
+
+    /// Whether the transpose has been built.
+    pub fn has_transpose(&self) -> bool {
+        self.in_offsets.is_some()
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over all `(src, dst)` edges in CSR order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&t| (v, t)))
+    }
+
+    /// The global CSR index of the first out-edge of `v`. Useful for mapping
+    /// `(vertex, local edge index)` to a global edge id.
+    #[inline]
+    pub fn edge_offset(&self, v: VertexId) -> u64 {
+        self.offsets[v as usize]
+    }
+
+    /// True if for every edge `(u, v)` the reverse edge `(v, u)` exists.
+    pub fn is_symmetric(&self) -> bool {
+        self.edges().all(|(u, v)| self.neighbors(v).binary_search(&u).is_ok())
+    }
+}
+
+/// Incremental builder that accumulates edges before freezing into a
+/// [`CsrGraph`]. Supports optional deduplication and symmetrization, which
+/// the dataset generators use to emulate the Graphalytics preprocessing.
+#[derive(Default, Clone, Debug)]
+pub struct GraphBuilder {
+    edges: Vec<Edge>,
+    num_vertices: usize,
+    dedup: bool,
+    symmetric: bool,
+    drop_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            ..Default::default()
+        }
+    }
+
+    /// Removes duplicate edges when building.
+    pub fn dedup(mut self) -> Self {
+        self.dedup = true;
+        self
+    }
+
+    /// Adds the reverse of every edge when building (undirected semantics).
+    pub fn symmetric(mut self) -> Self {
+        self.symmetric = true;
+        self
+    }
+
+    /// Removes self-loops when building.
+    pub fn drop_self_loops(mut self) -> Self {
+        self.drop_self_loops = true;
+        self
+    }
+
+    /// Appends one edge.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId) {
+        self.edges.push((src, dst));
+    }
+
+    /// Appends many edges.
+    pub fn extend(&mut self, edges: impl IntoIterator<Item = Edge>) {
+        self.edges.extend(edges);
+    }
+
+    /// Number of edges currently staged (before dedup/symmetrization).
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freezes into a CSR graph, applying the configured transforms.
+    pub fn build(mut self) -> CsrGraph {
+        if self.drop_self_loops {
+            self.edges.retain(|&(s, t)| s != t);
+        }
+        if self.symmetric {
+            let rev: Vec<Edge> = self.edges.iter().map(|&(s, t)| (t, s)).collect();
+            self.edges.extend(rev);
+        }
+        if self.dedup {
+            self.edges.sort_unstable();
+            self.edges.dedup();
+        }
+        CsrGraph::from_edges(self.num_vertices, &self.edges)
+    }
+
+    /// Freezes into a CSR graph with its transpose.
+    pub fn build_with_transpose(self) -> CsrGraph {
+        let mut g = self.build();
+        g.build_transpose();
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        CsrGraph::with_transpose(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = CsrGraph::from_edges(3, &[(0, 2), (0, 1)]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn transpose_matches_forward() {
+        let g = diamond();
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(1), &[0]);
+        assert!(g.in_neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_allowed() {
+        let g = CsrGraph::from_edges(10, &[(0, 1)]);
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.out_degree(9), 0);
+        assert!(g.neighbors(9).is_empty());
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let edges = vec![(0, 1), (0, 2), (1, 3), (2, 3)];
+        let g = CsrGraph::from_edges(4, &edges);
+        let mut collected: Vec<Edge> = g.edges().collect();
+        collected.sort_unstable();
+        assert_eq!(collected, edges);
+    }
+
+    #[test]
+    fn builder_dedup_and_self_loops() {
+        let mut b = GraphBuilder::new(3).dedup().drop_self_loops();
+        b.extend([(0, 1), (0, 1), (1, 1), (1, 2)]);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn builder_symmetric_makes_symmetric_graph() {
+        let mut b = GraphBuilder::new(3).symmetric().dedup();
+        b.extend([(0, 1), (1, 2)]);
+        let g = b.build();
+        assert!(g.is_symmetric());
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn symmetry_check_detects_asymmetry() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        assert!(!g.is_symmetric());
+    }
+
+    #[test]
+    fn edge_offset_maps_to_global_index() {
+        let g = diamond();
+        assert_eq!(g.edge_offset(0), 0);
+        assert_eq!(g.edge_offset(1), 2);
+        assert_eq!(g.edge_offset(2), 3);
+        assert_eq!(g.edge_offset(3), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        CsrGraph::from_edges(2, &[(0, 5)]);
+    }
+}

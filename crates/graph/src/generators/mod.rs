@@ -1,0 +1,23 @@
+//! Synthetic graph generators.
+//!
+//! The Grade10 paper evaluates on two LDBC Graphalytics datasets: a Datagen
+//! social network and a Graph500 (R-MAT) graph. Neither dataset can be
+//! redistributed here, so we generate structurally similar graphs:
+//!
+//! * [`rmat::RmatConfig`] — recursive-matrix (Kronecker) generation with the
+//!   Graph500 parameters, yielding the heavy-tailed degree distribution that
+//!   causes per-partition work skew;
+//! * [`social::SocialConfig`] — a community-structured generator in the
+//!   spirit of LDBC Datagen: power-law community sizes, dense intra-community
+//!   and sparse inter-community edges, preferential attachment inside
+//!   communities.
+//!
+//! [`simple`] provides tiny deterministic graphs (path, cycle, star, grid,
+//! complete, binary tree) used throughout unit tests.
+
+pub mod rmat;
+pub mod simple;
+pub mod social;
+
+pub use rmat::RmatConfig;
+pub use social::SocialConfig;

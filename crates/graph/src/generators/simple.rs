@@ -1,0 +1,163 @@
+//! Tiny deterministic graphs for tests and documentation examples.
+
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// Directed path `0 -> 1 -> ... -> n-1`.
+pub fn path(n: usize) -> CsrGraph {
+    let edges: Vec<_> = (0..n.saturating_sub(1))
+        .map(|v| (v as VertexId, (v + 1) as VertexId))
+        .collect();
+    CsrGraph::with_transpose(n, &edges)
+}
+
+/// Directed cycle `0 -> 1 -> ... -> n-1 -> 0`.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 1);
+    let edges: Vec<_> = (0..n)
+        .map(|v| (v as VertexId, ((v + 1) % n) as VertexId))
+        .collect();
+    CsrGraph::with_transpose(n, &edges)
+}
+
+/// Star with hub 0 and `n - 1` spokes, edges in both directions.
+pub fn star(n: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(2 * n.saturating_sub(1));
+    for v in 1..n {
+        edges.push((0, v as VertexId));
+        edges.push((v as VertexId, 0));
+    }
+    CsrGraph::with_transpose(n, &edges)
+}
+
+/// Complete directed graph on `n` vertices (no self-loops).
+pub fn complete(n: usize) -> CsrGraph {
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1));
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                edges.push((u as VertexId, v as VertexId));
+            }
+        }
+    }
+    CsrGraph::with_transpose(n, &edges)
+}
+
+/// `rows x cols` grid with undirected (two-way) edges between 4-neighbors.
+pub fn grid(rows: usize, cols: usize) -> CsrGraph {
+    let idx = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((idx(r, c), idx(r, c + 1)));
+                edges.push((idx(r, c + 1), idx(r, c)));
+            }
+            if r + 1 < rows {
+                edges.push((idx(r, c), idx(r + 1, c)));
+                edges.push((idx(r + 1, c), idx(r, c)));
+            }
+        }
+    }
+    CsrGraph::with_transpose(rows * cols, &edges)
+}
+
+/// Complete binary tree with `levels` levels, edges pointing from parent to
+/// child and back (undirected semantics).
+pub fn binary_tree(levels: u32) -> CsrGraph {
+    let n = (1usize << levels) - 1;
+    let mut edges = Vec::new();
+    for v in 0..n {
+        for child in [2 * v + 1, 2 * v + 2] {
+            if child < n {
+                edges.push((v as VertexId, child as VertexId));
+                edges.push((child as VertexId, v as VertexId));
+            }
+        }
+    }
+    CsrGraph::with_transpose(n, &edges)
+}
+
+/// Two disconnected cliques of size `k` each — handy for WCC/CDLP tests.
+pub fn two_cliques(k: usize) -> CsrGraph {
+    let mut edges = Vec::new();
+    for base in [0, k] {
+        for u in 0..k {
+            for v in 0..k {
+                if u != v {
+                    edges.push(((base + u) as VertexId, (base + v) as VertexId));
+                }
+            }
+        }
+    }
+    CsrGraph::with_transpose(2 * k, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(4), 0);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(4);
+        assert_eq!(g.num_edges(), 4);
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 1);
+            assert_eq!(g.in_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn star_is_symmetric() {
+        let g = star(6);
+        assert!(g.is_symmetric());
+        assert_eq!(g.out_degree(0), 5);
+        assert_eq!(g.out_degree(3), 1);
+    }
+
+    #[test]
+    fn complete_degrees() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 20);
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let g = grid(3, 4);
+        // horizontal: 3 rows * 3 = 9, vertical: 2 * 4 = 8, both directions.
+        assert_eq!(g.num_edges(), 2 * (9 + 8));
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(3);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 12);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(6), 1);
+    }
+
+    #[test]
+    fn two_cliques_disconnected() {
+        let g = two_cliques(3);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 12);
+        // No edge crosses between the cliques.
+        for (u, v) in g.edges() {
+            assert_eq!((u < 3), (v < 3));
+        }
+    }
+}

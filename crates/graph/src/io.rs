@@ -1,0 +1,113 @@
+//! Edge-list I/O in the whitespace-separated format used by Graphalytics
+//! (`.e` files): one `src dst` pair per line, `#`-prefixed comments allowed.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::csr::CsrGraph;
+use crate::{Edge, VertexId};
+
+/// Parses an edge list from a reader. Vertex count is `max id + 1` unless a
+/// larger `min_vertices` is given.
+pub fn read_edge_list<R: Read>(reader: R, min_vertices: usize) -> io::Result<CsrGraph> {
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut max_id: u64 = 0;
+    let mut line = String::new();
+    let mut buf = BufReader::new(reader);
+    let mut lineno = 0usize;
+    while buf.read_line(&mut line)? != 0 {
+        lineno += 1;
+        let trimmed = line.trim();
+        if !trimmed.is_empty() && !trimmed.starts_with('#') {
+            let mut it = trimmed.split_whitespace();
+            let parse = |tok: Option<&str>| -> io::Result<VertexId> {
+                tok.ok_or_else(|| bad_line(lineno))?
+                    .parse::<VertexId>()
+                    .map_err(|_| bad_line(lineno))
+            };
+            let src = parse(it.next())?;
+            let dst = parse(it.next())?;
+            max_id = max_id.max(src as u64).max(dst as u64);
+            edges.push((src, dst));
+        }
+        line.clear();
+    }
+    let n = if edges.is_empty() {
+        min_vertices
+    } else {
+        min_vertices.max(max_id as usize + 1)
+    };
+    Ok(CsrGraph::from_edges(n, &edges))
+}
+
+fn bad_line(lineno: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed edge list at line {lineno}"),
+    )
+}
+
+/// Writes the graph as an edge list.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, writer: W) -> io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    for (src, dst) in graph.edges() {
+        writeln!(out, "{src} {dst}")?;
+    }
+    out.flush()
+}
+
+/// Reads an edge-list file from disk.
+pub fn load_edge_list_file(path: &Path) -> io::Result<CsrGraph> {
+    read_edge_list(std::fs::File::open(path)?, 0)
+}
+
+/// Writes an edge-list file to disk.
+pub fn save_edge_list_file(graph: &CsrGraph, path: &Path) -> io::Result<()> {
+    write_edge_list(graph, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::simple;
+
+    #[test]
+    fn round_trip() {
+        let g = simple::grid(4, 4);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), 0).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for v in g.vertices() {
+            assert_eq!(g.neighbors(v), g2.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\n0 1\n # another\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), 0).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    fn min_vertices_respected() {
+        let g = read_edge_list("0 1\n".as_bytes(), 10).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let err = read_edge_list("0 1\nnope\n".as_bytes(), 0).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("".as_bytes(), 0).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Structural graph statistics used by workload reports and DESIGN-level
+//! sanity checks (degree distribution moments, approximate diameter).
+
+use crate::algorithms::bfs;
+use crate::partition::EdgeCutPartition;
+use crate::{CsrGraph, VertexId};
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub num_vertices: usize,
+    /// Directed edge count.
+    pub num_edges: usize,
+    /// Largest out-degree.
+    pub max_out_degree: u64,
+    /// Average out-degree.
+    pub mean_out_degree: f64,
+    /// Gini coefficient of the out-degree distribution (0 = uniform,
+    /// → 1 = maximally skewed). Quantifies workload irregularity.
+    pub degree_gini: f64,
+    /// Vertices with no out-edges.
+    pub isolated_vertices: usize,
+}
+
+/// Computes summary statistics.
+pub fn stats(graph: &CsrGraph) -> GraphStats {
+    let n = graph.num_vertices();
+    let mut degs: Vec<u64> = graph.vertices().map(|v| graph.out_degree(v)).collect();
+    degs.sort_unstable();
+    let total: u64 = degs.iter().sum();
+    let mean = if n == 0 { 0.0 } else { total as f64 / n as f64 };
+    // Gini from the sorted degree sequence.
+    let gini = if total == 0 || n == 0 {
+        0.0
+    } else {
+        let weighted: f64 = degs
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (2.0 * (i as f64 + 1.0) - n as f64 - 1.0) * d as f64)
+            .sum();
+        weighted / (n as f64 * total as f64)
+    };
+    GraphStats {
+        num_vertices: n,
+        num_edges: graph.num_edges(),
+        max_out_degree: degs.last().copied().unwrap_or(0),
+        mean_out_degree: mean,
+        degree_gini: gini,
+        isolated_vertices: degs.iter().filter(|&&d| d == 0).count(),
+    }
+}
+
+/// Log2-bucketed out-degree histogram: `hist[k]` counts vertices with
+/// out-degree in `[2^k, 2^(k+1))`; `hist[0]` additionally includes degree-0
+/// and degree-1 vertices. Power-law graphs show a straight-ish decay over
+/// many buckets; uniform graphs collapse into one or two.
+pub fn degree_histogram(graph: &CsrGraph) -> Vec<u64> {
+    let mut hist: Vec<u64> = Vec::new();
+    for v in graph.vertices() {
+        let d = graph.out_degree(v);
+        let bucket = if d <= 1 { 0 } else { 63 - d.leading_zeros() as usize };
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+/// Lower bound on the diameter: the eccentricity of `start` (longest finite
+/// BFS distance). Exact on trees; a useful bound elsewhere.
+pub fn eccentricity(graph: &CsrGraph, start: VertexId) -> u64 {
+    let part = EdgeCutPartition::hash(graph, 1);
+    let r = bfs(graph, &part, start);
+    r.distance
+        .iter()
+        .filter(|&&d| d != crate::algorithms::bfs::UNREACHED)
+        .copied()
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{rmat::RmatConfig, simple};
+
+    #[test]
+    fn stats_of_cycle() {
+        let s = stats(&simple::cycle(10));
+        assert_eq!(s.num_vertices, 10);
+        assert_eq!(s.num_edges, 10);
+        assert_eq!(s.max_out_degree, 1);
+        assert!((s.mean_out_degree - 1.0).abs() < 1e-12);
+        assert!(s.degree_gini.abs() < 1e-12, "uniform degrees → zero Gini");
+        assert_eq!(s.isolated_vertices, 0);
+    }
+
+    #[test]
+    fn star_is_highly_skewed() {
+        let s = stats(&simple::star(100));
+        assert!(s.degree_gini > 0.45, "gini {}", s.degree_gini);
+        assert_eq!(s.max_out_degree, 99);
+    }
+
+    #[test]
+    fn rmat_more_skewed_than_grid() {
+        let rmat = stats(&RmatConfig::graph500(10, 3).generate());
+        let grid = stats(&simple::grid(32, 32));
+        assert!(rmat.degree_gini > grid.degree_gini);
+    }
+
+    #[test]
+    fn eccentricity_of_path() {
+        let g = simple::path(10);
+        assert_eq!(eccentricity(&g, 0), 9);
+        assert_eq!(eccentricity(&g, 9), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log_degree() {
+        // Star of 9: hub degree 8 (bucket 3), 8 spokes of degree 1 (bucket 0).
+        let h = degree_histogram(&simple::star(9));
+        assert_eq!(h, vec![8, 0, 0, 1]);
+        // Regular graph: everything in one bucket.
+        let h = degree_histogram(&simple::cycle(10));
+        assert_eq!(h, vec![10]);
+        // Histogram covers every vertex exactly once.
+        let g = RmatConfig::graph500(9, 4).generate();
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<u64>() as usize, g.num_vertices());
+        // Power law: many occupied buckets.
+        assert!(h.iter().filter(|&&c| c > 0).count() >= 5);
+    }
+
+    #[test]
+    fn isolated_vertices_counted() {
+        let g = CsrGraph::from_edges(5, &[(0, 1)]);
+        let s = stats(&g);
+        // Vertices 2, 3, 4 have no out-edges; vertex 1 also has none.
+        assert_eq!(s.isolated_vertices, 4);
+    }
+}

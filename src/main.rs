@@ -1,0 +1,447 @@
+//! `grade10` — command-line front end for the characterization pipeline.
+//!
+//! ```text
+//! grade10 demo [--engine giraph|powergraph|spark]
+//!              [--algorithm pr|bfs|wcc|cdlp|sssp|lcc]
+//!              [--dataset rmat:SCALE|social:VERTICES] [--seed N] [--gantt]
+//!              [--work-profile] [--export-logs DIR] [--html FILE]
+//!     Run a simulated workload end to end and print the characterization;
+//!     optionally ship the run's logs and monitoring as files that
+//!     `grade10 analyze` (and any other tooling) can consume.
+//!
+//! grade10 export-model --engine giraph|powergraph [-o FILE]
+//!     Write the built-in expert input (execution model, resource model,
+//!     attribution rules) as a reusable JSON bundle.
+//!
+//! grade10 analyze --model BUNDLE.json --events EVENTS.jsonl
+//!                 --resources RESOURCES.json [--slice-ms N] [--gantt]
+//!     Offline analysis: characterize logs shipped from a monitored run.
+//! ```
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, Write};
+use std::process::ExitCode;
+
+use grade10::core::critical_path::critical_path;
+use grade10::core::model::ModelBundle;
+use grade10::core::parse::{build_execution_trace, read_events_json};
+use grade10::core::pipeline::{characterize, CharacterizationConfig};
+use grade10::core::report::{machine_table, render_gantt, render_html_report, usage_table, GanttConfig, HtmlConfig};
+use grade10::core::trace::{ExecutionTrace, ResourceTrace, MILLIS};
+use grade10::engines::gas::GasConfig;
+use grade10::engines::models::{
+    gas_model, gas_resource_model, gas_rules_tuned, pregel_model, pregel_resource_model,
+    pregel_rules_tuned,
+};
+use grade10::engines::pregel::PregelConfig;
+use grade10::engines::{run_workload, Algorithm, Dataset, EngineKind, WorkloadSpec};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  grade10 demo [--engine giraph|powergraph|spark]
+               [--algorithm pr|bfs|wcc|cdlp|sssp|lcc]
+               [--dataset rmat:SCALE|social:VERTICES] [--seed N] [--gantt]
+               [--work-profile] [--export-logs DIR] [--html FILE]
+  grade10 export-model --engine giraph|powergraph [-o FILE]
+  grade10 analyze --model BUNDLE.json --events EVENTS.jsonl
+                  --resources RESOURCES.json [--slice-ms N] [--gantt]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (cmd, rest) = args.split_first().ok_or("no command given")?;
+    let flags = parse_flags(rest)?;
+    match cmd.as_str() {
+        "demo" => demo(&flags),
+        "export-model" => export_model(&flags),
+        "analyze" => analyze(&flags),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Parses `--key value` pairs plus bare `--switch` flags.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    const SWITCHES: &[&str] = &["--gantt", "--work-profile"];
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = &args[i];
+        if !key.starts_with('-') {
+            return Err(format!("unexpected argument '{key}'"));
+        }
+        if SWITCHES.contains(&key.as_str()) {
+            out.insert(key.clone(), "true".into());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag '{key}' needs a value"))?;
+        out.insert(key.clone(), value.clone());
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn demo(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = flags
+        .get("--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad seed '{s}'")))
+        .transpose()?
+        .unwrap_or(46);
+    let dataset = match flags.get("--dataset").map(String::as_str) {
+        None => Dataset::Rmat { scale: 12, seed },
+        Some(spec) => parse_dataset(spec, seed)?,
+    };
+    let algorithm = match flags.get("--algorithm").map(String::as_str) {
+        None | Some("pr") => Algorithm::PageRank { iterations: 8 },
+        Some("bfs") => Algorithm::Bfs { root: 0 },
+        Some("wcc") => Algorithm::Wcc,
+        Some("cdlp") => Algorithm::Cdlp { iterations: 8 },
+        Some("sssp") => Algorithm::Sssp { root: 0 },
+        Some("lcc") => Algorithm::Lcc,
+        Some(other) => return Err(format!("unknown algorithm '{other}'")),
+    };
+    // The Spark-like dataflow engine has its own job mapping; handle it
+    // before the graph-native engines.
+    if flags.get("--engine").map(String::as_str) == Some("spark") {
+        return demo_spark(dataset, algorithm, flags);
+    }
+    let engine = match flags.get("--engine").map(String::as_str) {
+        None | Some("giraph") => EngineKind::Giraph(PregelConfig::default()),
+        Some("powergraph") => EngineKind::PowerGraph(GasConfig::default()),
+        Some(other) => return Err(format!("unknown engine '{other}'")),
+    };
+
+    let spec = WorkloadSpec {
+        dataset,
+        algorithm,
+        engine,
+    };
+    eprintln!("running {} ...", spec.name());
+    let run = run_workload(&spec);
+    if flags.contains_key("--work-profile") {
+        println!("workload iteration profile (whole cluster):");
+        let mut t = grade10::core::report::Table::new(&[
+            "iter", "active", "edges", "local msgs", "remote msgs", "balance",
+        ]);
+        for (i, active, edges, local, remote, balance) in run.work.iteration_rows() {
+            t.row(&[
+                format!("{i}"),
+                format!("{active}"),
+                format!("{edges}"),
+                format!("{local}"),
+                format!("{remote}"),
+                format!("{balance:.2}"),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    eprintln!(
+        "done: simulated runtime {:.2}s, {} phase instances",
+        run.sim.end_time.as_secs_f64(),
+        run.trace.instances().len()
+    );
+
+    if let Some(dir) = flags.get("--export-logs") {
+        export_logs(&run, dir)?;
+    }
+
+    let resources = run.resource_trace(8);
+    let result = characterize(
+        &run.model,
+        &run.rules_tuned,
+        &run.trace,
+        &resources,
+        &CharacterizationConfig::default(),
+    );
+    print_characterization(&run.model, &run.trace, &result, flags.contains_key("--gantt"));
+    if let Some(path) = flags.get("--html") {
+        write_html(&run.model, &run.trace, &result, &spec.name(), path)?;
+    }
+    Ok(())
+}
+
+/// Writes the characterization as a standalone HTML report.
+fn write_html(
+    model: &grade10::core::model::ExecutionModel,
+    trace: &ExecutionTrace,
+    result: &grade10::core::pipeline::Characterization,
+    title: &str,
+    path: &str,
+) -> Result<(), String> {
+    let html = render_html_report(
+        model,
+        trace,
+        result,
+        &HtmlConfig {
+            title: format!("Grade10: {title}"),
+            ..Default::default()
+        },
+    );
+    std::fs::write(path, html).map_err(|e| format!("write {path}: {e}"))?;
+    eprintln!("wrote {path}");
+    Ok(())
+}
+
+/// Runs a GraphX-flavored job on the Spark-like dataflow engine (§V).
+fn demo_spark(
+    dataset: Dataset,
+    algorithm: Algorithm,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
+    use grade10::engines::dataflow::{
+        dataflow_model, dataflow_rules_tuned, run_dataflow, DataflowConfig, JobSpec,
+    };
+    use grade10::graph::partition::EdgeCutPartition;
+
+    let cfg = DataflowConfig::default();
+    let graph = dataset.generate();
+    let partitions = cfg.machines * cfg.executors * 2;
+    let part = EdgeCutPartition::hash(&graph, partitions);
+    let work = algorithm.run(&graph, &part);
+    let job = JobSpec::from_work_profile(&work, 1.0e-4, 200.0, cfg.machines);
+    eprintln!(
+        "running {}-{} as a dataflow job ({} stages x {partitions} tasks) ...",
+        algorithm.name(),
+        dataset.name(),
+        job.stages.len()
+    );
+    let out = run_dataflow(&job, &cfg);
+    eprintln!("done: simulated runtime {:.2}s", out.end_time.as_secs_f64());
+
+    let (model, phases) = dataflow_model();
+    let rules = dataflow_rules_tuned(&phases, cfg.cores);
+    let events = grade10::engines::bridge::to_raw_events(&out.logs);
+    let trace = build_execution_trace(&model, &events)?;
+    let resources = grade10::engines::bridge::to_resource_trace(&out.series, 8);
+    let result = characterize(&model, &rules, &trace, &resources, &CharacterizationConfig::default());
+    print_characterization(&model, &trace, &result, flags.contains_key("--gantt"));
+    Ok(())
+}
+
+/// Writes the run's logs and coarse monitoring in the offline-analysis
+/// formats: `events.jsonl` (raw log events) and `resources.json` (resource
+/// trace at the recommended 8x downsampling).
+fn export_logs(run: &grade10::engines::WorkloadRun, dir: &str) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+    let events = grade10::engines::bridge::to_raw_events(&run.sim.logs);
+    let events_path = format!("{dir}/events.jsonl");
+    let f = File::create(&events_path).map_err(|e| format!("create {events_path}: {e}"))?;
+    grade10::core::parse::write_events_json(&events, f)
+        .map_err(|e| format!("write {events_path}: {e}"))?;
+    let resources_path = format!("{dir}/resources.json");
+    let rt = run.resource_trace(8);
+    let f = File::create(&resources_path).map_err(|e| format!("create {resources_path}: {e}"))?;
+    serde_json::to_writer(f, &rt).map_err(|e| format!("write {resources_path}: {e}"))?;
+    eprintln!("exported {events_path} and {resources_path}");
+    Ok(())
+}
+
+fn parse_dataset(spec: &str, seed: u64) -> Result<Dataset, String> {
+    let (kind, size) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("dataset spec '{spec}' must be kind:size"))?;
+    match kind {
+        "rmat" => Ok(Dataset::Rmat {
+            scale: size.parse().map_err(|_| format!("bad scale '{size}'"))?,
+            seed,
+        }),
+        "social" => Ok(Dataset::Social {
+            vertices: size.parse().map_err(|_| format!("bad size '{size}'"))?,
+            seed,
+        }),
+        other => Err(format!("unknown dataset kind '{other}'")),
+    }
+}
+
+fn export_model(flags: &HashMap<String, String>) -> Result<(), String> {
+    let bundle = match flags
+        .get("--engine")
+        .ok_or("export-model needs --engine")?
+        .as_str()
+    {
+        "giraph" => {
+            let (execution, phases) = pregel_model();
+            let cores = PregelConfig::default().cores;
+            ModelBundle {
+                framework: "giraph".into(),
+                notes: format!("tuned rules assume {cores} cores per machine"),
+                rules: pregel_rules_tuned(&phases, cores),
+                resources: pregel_resource_model(),
+                execution,
+            }
+        }
+        "powergraph" => {
+            let (execution, phases) = gas_model();
+            let cores = GasConfig::default().cores;
+            ModelBundle {
+                framework: "powergraph".into(),
+                notes: format!("tuned rules assume {cores} cores per machine"),
+                rules: gas_rules_tuned(&phases, cores),
+                resources: gas_resource_model(),
+                execution,
+            }
+        }
+        other => return Err(format!("unknown engine '{other}'")),
+    };
+    match flags.get("-o") {
+        Some(path) => {
+            let mut f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+            f.write_all(bundle.to_json().as_bytes())
+                .map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{}", bundle.to_json()),
+    }
+    Ok(())
+}
+
+fn analyze(flags: &HashMap<String, String>) -> Result<(), String> {
+    let bundle_path = flags.get("--model").ok_or("analyze needs --model")?;
+    let events_path = flags.get("--events").ok_or("analyze needs --events")?;
+    let resources_path = flags
+        .get("--resources")
+        .ok_or("analyze needs --resources")?;
+    let slice_ms: u64 = flags
+        .get("--slice-ms")
+        .map(|s| s.parse().map_err(|_| format!("bad slice '{s}'")))
+        .transpose()?
+        .unwrap_or(10);
+
+    let bundle = ModelBundle::load(open(bundle_path)?).map_err(|e| e.to_string())?;
+    let events = read_events_json(BufReader::new(open(events_path)?))
+        .map_err(|e| format!("{events_path}: {e}"))?;
+    let trace = build_execution_trace(&bundle.execution, &events)?;
+    let resources: ResourceTrace = serde_json::from_reader(BufReader::new(open(resources_path)?))
+        .map_err(|e| format!("{resources_path}: {e}"))?;
+
+    let cfg = CharacterizationConfig {
+        profile: grade10::core::attribution::ProfileConfig {
+            slice: slice_ms * MILLIS,
+            upsample: grade10::core::attribution::UpsampleMode::DemandGuided,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let result = characterize(&bundle.execution, &bundle.rules, &trace, &resources, &cfg);
+    eprintln!(
+        "analyzed {} ({} phase instances, {} events)",
+        bundle.framework,
+        trace.instances().len(),
+        events.len()
+    );
+    print_characterization(
+        &bundle.execution,
+        &trace,
+        &result,
+        flags.contains_key("--gantt"),
+    );
+    Ok(())
+}
+
+fn open(path: &str) -> Result<File, String> {
+    File::open(path).map_err(|e| format!("open {path}: {e}"))
+}
+
+fn print_characterization(
+    model: &grade10::core::model::ExecutionModel,
+    trace: &ExecutionTrace,
+    result: &grade10::core::pipeline::Characterization,
+    gantt: bool,
+) {
+    println!(
+        "baseline makespan (replayed): {:.2}s",
+        result.base_makespan as f64 / 1e9
+    );
+    println!("\ncluster utilization:");
+    print!("{}", machine_table(&result.profile).render());
+    println!("\nattributed consumption by phase type:");
+    print!("{}", usage_table(&result.profile, model, trace).render());
+    println!("\nblocked time by phase type:");
+    let mut any = false;
+    for ((ty, res), secs) in result.bottlenecks.blocked_time_by_type(trace) {
+        if secs > 0.01 {
+            println!("  {} blocked on {res}: {secs:.2}s", model.type_path(ty));
+            any = true;
+        }
+    }
+    if !any {
+        println!("  (none above 10 ms)");
+    }
+    println!("\nissues, most impactful first:");
+    if result.issues.is_empty() {
+        println!("  (none above threshold)");
+    }
+    for line in result.summary(model) {
+        println!("  - {line}");
+    }
+    println!("\ncritical path (replayed), time per phase type:");
+    let cp = critical_path(model, trace, &Default::default());
+    for (path, secs) in cp.rows(model) {
+        println!("  {path:<55} {secs:>7.2}s");
+    }
+    if gantt {
+        println!("\nexecution gantt (top 3 levels):");
+        print!("{}", render_gantt(model, trace, &GanttConfig::default()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parser_handles_pairs_and_switches() {
+        let args: Vec<String> = ["--engine", "giraph", "--gantt", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f.get("--engine").unwrap(), "giraph");
+        assert_eq!(f.get("--seed").unwrap(), "7");
+        assert!(f.contains_key("--gantt"));
+    }
+
+    #[test]
+    fn flag_parser_rejects_bare_values_and_dangling_flags() {
+        let args = vec!["oops".to_string()];
+        assert!(parse_flags(&args).is_err());
+        let args = vec!["--engine".to_string()];
+        assert!(parse_flags(&args).is_err());
+    }
+
+    #[test]
+    fn dataset_spec_parsing() {
+        assert_eq!(
+            parse_dataset("rmat:12", 1).unwrap(),
+            Dataset::Rmat { scale: 12, seed: 1 }
+        );
+        assert_eq!(
+            parse_dataset("social:5000", 2).unwrap(),
+            Dataset::Social {
+                vertices: 5000,
+                seed: 2
+            }
+        );
+        assert!(parse_dataset("nope", 1).is_err());
+        assert!(parse_dataset("rmat:abc", 1).is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&["frobnicate".to_string()]).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration of the analysis extensions (critical path, run comparison,
+//! rule lint) against real engine runs.
+
+use grade10::core::compare::compare_traces;
+use grade10::core::critical_path::critical_path;
+use grade10::core::replay::ReplayConfig;
+use grade10::engines::models::{gas_resource_model, pregel_resource_model};
+use grade10::engines::pregel::PregelConfig;
+use grade10::engines::{run_workload, Algorithm, Dataset, EngineKind, WorkloadRun, WorkloadSpec};
+
+fn run(work_factor: f64) -> WorkloadRun {
+    let mut factors = vec![1.0; 2];
+    factors[1] = work_factor;
+    run_workload(&WorkloadSpec {
+        dataset: Dataset::Rmat { scale: 10, seed: 7 },
+        algorithm: Algorithm::PageRank { iterations: 4 },
+        engine: EngineKind::Giraph(PregelConfig {
+            machines: 2,
+            threads: 4,
+            cores: 4.0,
+            machine_work_factor: factors,
+            ..Default::default()
+        }),
+    })
+}
+
+#[test]
+fn critical_path_is_compute_dominated_for_pagerank() {
+    let r = run(1.0);
+    let cp = critical_path(&r.model, &r.trace, &ReplayConfig::default());
+    assert!(cp.makespan > 0);
+    let thread = r.model.find_by_name("thread").unwrap();
+    assert!(
+        cp.fraction_of(thread) > 0.5,
+        "compute threads should dominate PageRank's critical path, got {:.2}",
+        cp.fraction_of(thread)
+    );
+    // The path is temporally consistent and ends at the makespan.
+    for w in cp.hops.windows(2) {
+        assert!(w[0].end <= w[1].start);
+    }
+    assert_eq!(cp.hops.last().unwrap().end, cp.makespan);
+}
+
+#[test]
+fn comparison_pinpoints_the_degraded_phase_type() {
+    let healthy = run(1.0);
+    let degraded = run(1.5);
+    // A = degraded, B = healthy: the comparison should credit the speedup
+    // to the compute threads, whose total duration shrank.
+    let cmp = compare_traces(&healthy.model, &degraded.trace, &healthy.trace);
+    assert!(cmp.speedup() > 1.05, "speedup {:.3}", cmp.speedup());
+    let thread = healthy.model.find_by_name("thread").unwrap();
+    let top = &cmp.deltas[0];
+    assert_eq!(
+        top.phase_type, thread,
+        "largest delta should be the compute threads"
+    );
+    assert!(top.relative_change() < -0.05, "{}", top.relative_change());
+}
+
+#[test]
+fn bundled_engine_rules_lint_clean() {
+    // The shipped expert input must never trip its own linter.
+    let giraph = run(1.0);
+    assert!(
+        giraph
+            .rules_tuned
+            .lint(&giraph.model, &pregel_resource_model())
+            .is_empty()
+    );
+    let pg = run_workload(&WorkloadSpec {
+        dataset: Dataset::Rmat { scale: 9, seed: 7 },
+        algorithm: Algorithm::PageRank { iterations: 2 },
+        engine: EngineKind::PowerGraph(grade10::engines::gas::GasConfig {
+            machines: 2,
+            threads: 2,
+            cores: 2.0,
+            ..Default::default()
+        }),
+    });
+    assert!(
+        pg.rules_tuned
+            .lint(&pg.model, &gas_resource_model())
+            .is_empty()
+    );
+}
+
+#[test]
+fn critical_path_shifts_to_the_slow_machine() {
+    let degraded = run(1.6);
+    let cp = critical_path(&degraded.model, &degraded.trace, &ReplayConfig::default());
+    // Most path time should sit on the degraded machine's phases.
+    let slow: u64 = cp
+        .hops
+        .iter()
+        .filter(|h| degraded.trace.instance(h.instance).machine == Some(1))
+        .map(|h| h.end - h.start)
+        .sum();
+    assert!(
+        slow as f64 > 0.5 * cp.makespan as f64,
+        "slow machine should carry most of the critical path: {slow} of {}",
+        cp.makespan
+    );
+}

@@ -1,0 +1,90 @@
+//! The offline workflow end to end: serialize a monitored run's artifacts
+//! (events as JSON lines, monitoring as JSON, expert input as a bundle),
+//! read everything back, and verify the characterization is identical to
+//! analyzing the live objects — the guarantee behind `grade10 demo
+//! --export-logs` + `grade10 analyze`.
+
+use grade10::core::model::ModelBundle;
+use grade10::core::parse::{build_execution_trace, read_events_json, write_events_json};
+use grade10::core::pipeline::{characterize, CharacterizationConfig};
+use grade10::core::trace::ResourceTrace;
+use grade10::engines::bridge::to_raw_events;
+use grade10::engines::models::pregel_resource_model;
+use grade10::engines::pregel::PregelConfig;
+use grade10::engines::{run_workload, Algorithm, Dataset, EngineKind, WorkloadSpec};
+
+#[test]
+fn serialized_artifacts_reproduce_the_characterization() {
+    let run = run_workload(&WorkloadSpec {
+        dataset: Dataset::Rmat { scale: 10, seed: 7 },
+        algorithm: Algorithm::PageRank { iterations: 3 },
+        engine: EngineKind::Giraph(PregelConfig {
+            machines: 2,
+            threads: 2,
+            cores: 2.0,
+            ..Default::default()
+        }),
+    });
+
+    // --- Ship: events.jsonl, resources.json, bundle.json (in memory) ---
+    let events = to_raw_events(&run.sim.logs);
+    let mut events_file = Vec::new();
+    write_events_json(&events, &mut events_file).unwrap();
+
+    let resources = run.resource_trace(8);
+    let resources_file = serde_json::to_vec(&resources).unwrap();
+
+    let bundle = ModelBundle {
+        framework: "giraph".into(),
+        notes: String::new(),
+        execution: run.model.clone(),
+        resources: pregel_resource_model(),
+        rules: run.rules_tuned.clone(),
+    };
+    let bundle_file = bundle.to_json();
+
+    // --- Analyze from the shipped bytes only ---
+    let bundle2 = ModelBundle::from_json(&bundle_file).unwrap();
+    let events2 = read_events_json(events_file.as_slice()).unwrap();
+    let trace2 = build_execution_trace(&bundle2.execution, &events2).unwrap();
+    let resources2: ResourceTrace = serde_json::from_slice(&resources_file).unwrap();
+
+    let cfg = CharacterizationConfig::default();
+    let live = characterize(&run.model, &run.rules_tuned, &run.trace, &resources, &cfg);
+    let shipped = characterize(&bundle2.execution, &bundle2.rules, &trace2, &resources2, &cfg);
+
+    // Bit-identical pipeline outputs.
+    assert_eq!(live.base_makespan, shipped.base_makespan);
+    assert_eq!(live.profile.consumption, shipped.profile.consumption);
+    assert_eq!(live.issues.len(), shipped.issues.len());
+    for (a, b) in live.issues.iter().zip(&shipped.issues) {
+        assert_eq!(a.kind, b.kind);
+        assert_eq!(a.optimistic_makespan, b.optimistic_makespan);
+    }
+    // And the traces agree structurally.
+    assert_eq!(run.trace.instances().len(), trace2.instances().len());
+    assert_eq!(run.trace.blocking().len(), trace2.blocking().len());
+}
+
+#[test]
+fn shipped_rules_lint_clean_after_round_trip() {
+    let run = run_workload(&WorkloadSpec {
+        dataset: Dataset::Rmat { scale: 9, seed: 7 },
+        algorithm: Algorithm::Bfs { root: 0 },
+        engine: EngineKind::Giraph(PregelConfig {
+            machines: 2,
+            threads: 2,
+            cores: 2.0,
+            ..Default::default()
+        }),
+    });
+    let bundle = ModelBundle {
+        framework: "giraph".into(),
+        notes: String::new(),
+        execution: run.model.clone(),
+        resources: pregel_resource_model(),
+        rules: run.rules_tuned.clone(),
+    };
+    let back = ModelBundle::from_json(&bundle.to_json()).unwrap();
+    assert!(back.rules.lint(&back.execution, &back.resources).is_empty());
+}

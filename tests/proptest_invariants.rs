@@ -1,0 +1,429 @@
+//! Property-based tests of the core invariants, across crates.
+//!
+//! These encode the conservation laws and safety bounds that every
+//! refactoring must preserve: allocation never exceeds capacity, upsampling
+//! conserves measured totals, attribution conserves consumption, replay is
+//! monotone, partitions cover their graphs exactly.
+
+use proptest::prelude::*;
+
+use grade10::cluster::alloc::{fair_share_single, max_min_fair, Consumer};
+use grade10::core::attribution::{build_profile, ProfileConfig};
+use grade10::core::critical_path::critical_path;
+use grade10::core::model::{AttributionRule, ExecutionModelBuilder, Repeat, RuleSet};
+use grade10::core::report::{render_gantt, GanttConfig};
+use grade10::core::trace::{ExecutionTrace, ResourceInstance, ResourceTrace, TraceBuilder};
+use grade10::core::ExecutionModel;
+use grade10::core::attribution::upsample::{upsample_measurement, waterfill};
+use grade10::core::replay::{replay, ReplayConfig};
+use grade10::core::trace::{Measurement, TimesliceGrid, MILLIS};
+use grade10::graph::algorithms::{bfs, pagerank};
+use grade10::graph::partition::{EdgeCutPartition, VertexCutPartition};
+use grade10::graph::{CsrGraph, VertexId};
+
+// ---------- cluster: max–min fair allocation ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn fair_share_respects_capacity_and_demands(
+        demands in prop::collection::vec(0.0f64..10.0, 0..20),
+        capacity in 0.1f64..50.0,
+    ) {
+        let rates = fair_share_single(&demands, capacity);
+        let total: f64 = rates.iter().sum();
+        prop_assert!(total <= capacity + 1e-6);
+        for (r, d) in rates.iter().zip(&demands) {
+            prop_assert!(*r <= d + 1e-9);
+            prop_assert!(*r >= -1e-12);
+        }
+        // Work conservation: if capacity remains, every demand is met.
+        if total < capacity - 1e-6 {
+            for (r, d) in rates.iter().zip(&demands) {
+                prop_assert!((r - d).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn bipartite_allocation_respects_all_links(
+        flows in prop::collection::vec((0usize..4, 0usize..4, 0.1f64..20.0), 1..12),
+        caps in prop::collection::vec(0.5f64..10.0, 8),
+    ) {
+        let consumers: Vec<Consumer> = flows
+            .iter()
+            .map(|&(src, dst, demand)| Consumer {
+                demand,
+                links: vec![src, 4 + dst],
+            })
+            .collect();
+        let rates = max_min_fair(&consumers, &caps);
+        let mut used = [0.0f64; 8];
+        for (c, r) in consumers.iter().zip(&rates) {
+            prop_assert!(*r <= c.demand + 1e-9);
+            for &l in &c.links {
+                used[l] += r;
+            }
+        }
+        for (l, &u) in used.iter().enumerate() {
+            prop_assert!(u <= caps[l] + 1e-6, "link {l}: {u} > {}", caps[l]);
+        }
+    }
+}
+
+// ---------- core: waterfill and upsampling ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn waterfill_conserves_and_caps(
+        weights in prop::collection::vec(0.0f64..5.0, 1..12),
+        caps in prop::collection::vec(0.0f64..8.0, 1..12),
+        amount in 0.0f64..40.0,
+    ) {
+        let n = weights.len().min(caps.len());
+        let (weights, caps) = (&weights[..n], &caps[..n]);
+        let mut out = vec![0.0; n];
+        let left = waterfill(weights, caps, amount, &mut out);
+        let placed: f64 = out.iter().sum();
+        prop_assert!((placed + left - amount).abs() < 1e-6);
+        for i in 0..n {
+            prop_assert!(out[i] <= caps[i] + 1e-9);
+            if weights[i] == 0.0 {
+                prop_assert!(out[i] == 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn upsampling_conserves_total_and_capacity(
+        exact in prop::collection::vec(0.0f64..6.0, 4..16),
+        variable in prop::collection::vec(0.0f64..3.0, 4..16),
+        avg in 0.0f64..5.0,
+        capacity in 1.0f64..6.0,
+    ) {
+        let n = exact.len().min(variable.len());
+        let (exact, variable) = (&exact[..n], &variable[..n]);
+        let grid = TimesliceGrid::covering(0, n as u64 * 10 * MILLIS, 10 * MILLIS);
+        let m = Measurement {
+            start: 0,
+            end: n as u64 * 10 * MILLIS,
+            avg,
+        };
+        let mut out = vec![0.0; n];
+        let overflow = upsample_measurement(&m, &grid, exact, variable, capacity, &mut out);
+        let placed: f64 = out.iter().sum();
+        prop_assert!((placed + overflow - avg * n as f64).abs() < 1e-6);
+        for &v in &out {
+            prop_assert!(v <= capacity + 1e-6);
+            prop_assert!(v >= -1e-12);
+        }
+        // Overflow only when the measurement physically exceeds capacity.
+        if avg <= capacity - 1e-9 {
+            prop_assert!(overflow < 1e-6);
+        }
+    }
+}
+
+// ---------- core: replay monotonicity ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn replay_critical_path_is_monotone_in_durations(
+        durs in prop::collection::vec(1u64..200, 4),
+        shrink in prop::collection::vec(0.1f64..1.0, 4),
+    ) {
+        use grade10::core::model::{ExecutionModelBuilder, Repeat};
+        use grade10::core::trace::TraceBuilder;
+        // job -> step(seq) x2 -> task(par) x2 each.
+        let mut b = ExecutionModelBuilder::new("job");
+        let r = b.root();
+        let step = b.child(r, "step", Repeat::Sequential);
+        let _task = b.child(step, "task", Repeat::Parallel);
+        let model = b.build();
+        let mut tb = TraceBuilder::new(&model);
+        let s0 = durs[0].max(durs[1]);
+        let s1 = durs[2].max(durs[3]);
+        tb.add_phase(&[("job", 0)], 0, (s0 + s1) * MILLIS, None, None).unwrap();
+        for (si, window) in [(0u32, 0..2usize), (1, 2..4)] {
+            let base = if si == 0 { 0 } else { s0 };
+            let len = if si == 0 { s0 } else { s1 };
+            tb.add_phase(&[("job", 0), ("step", si)], base * MILLIS, (base + len) * MILLIS, None, None).unwrap();
+            for (k, di) in window.enumerate() {
+                tb.add_phase(
+                    &[("job", 0), ("step", si), ("task", k as u32)],
+                    base * MILLIS,
+                    (base + durs[di]) * MILLIS,
+                    Some(0),
+                    Some(k as u16),
+                ).unwrap();
+            }
+        }
+        let trace = tb.build().unwrap();
+        let cfg = ReplayConfig { enforce_concurrency: false };
+        let base = replay(&model, &trace, &|id| trace.instance(id).duration(), &cfg);
+        let shrunk = replay(
+            &model,
+            &trace,
+            &|id| {
+                let inst = trace.instance(id);
+                if trace.is_leaf(id) {
+                    (inst.duration() as f64 * shrink[inst.thread.unwrap_or(0) as usize % 4]) as u64
+                } else {
+                    inst.duration()
+                }
+            },
+            &cfg,
+        );
+        prop_assert!(shrunk.makespan <= base.makespan);
+        // Critical path equals the sum of each step's longest task.
+        let expect = durs[0].max(durs[1]) + durs[2].max(durs[3]);
+        prop_assert_eq!(base.makespan, expect * MILLIS);
+    }
+}
+
+// ---------- graph: partitions and algorithms ----------
+
+fn arbitrary_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..40, prop::collection::vec((0u32..40, 0u32..40), 1..120)).prop_map(|(n, edges)| {
+        let edges: Vec<(VertexId, VertexId)> = edges
+            .into_iter()
+            .map(|(a, b)| (a % n as u32, b % n as u32))
+            .collect();
+        CsrGraph::with_transpose(n, &edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    #[test]
+    fn edge_cut_partition_covers_all_vertices(g in arbitrary_graph(), parts in 1usize..6) {
+        let p = EdgeCutPartition::hash(&g, parts);
+        let loads = p.vertex_loads();
+        prop_assert_eq!(loads.iter().sum::<u64>() as usize, g.num_vertices());
+        for v in g.vertices() {
+            prop_assert!((p.owner(v) as usize) < parts);
+        }
+    }
+
+    #[test]
+    fn vertex_cut_covers_all_edges_once(g in arbitrary_graph(), parts in 1usize..6) {
+        let p = VertexCutPartition::greedy(&g, parts);
+        prop_assert_eq!(p.edge_loads().iter().sum::<u64>() as usize, g.num_edges());
+        // Every endpoint of every edge has a replica where the edge lives.
+        let mut eidx = 0u64;
+        for u in g.vertices() {
+            for &v in g.neighbors(u) {
+                let owner = p.edge_owner(eidx);
+                prop_assert!(p.has_replica(u, owner));
+                prop_assert!(p.has_replica(v, owner));
+                eidx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_inequality(g in arbitrary_graph()) {
+        let p = EdgeCutPartition::hash(&g, 1);
+        let r = bfs(&g, &p, 0);
+        for (u, v) in g.edges() {
+            let du = r.distance[u as usize];
+            if du != u64::MAX {
+                prop_assert!(r.distance[v as usize] <= du + 1);
+            }
+        }
+        prop_assert_eq!(r.distance[0], 0);
+    }
+
+    #[test]
+    fn pagerank_mass_is_conserved(g in arbitrary_graph(), iters in 1usize..6) {
+        let p = EdgeCutPartition::hash(&g, 2);
+        let r = pagerank(&g, &p, iters, 0.85);
+        let sum: f64 = r.rank.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "rank mass {sum}");
+        prop_assert!(r.rank.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn timeslice_grid_partitions_time(origin in 0u64..1000, span in 1u64..100_000, slice in 1u64..1000) {
+        let grid = TimesliceGrid::covering(origin, origin + span, slice);
+        // Slices tile the covered range without gaps.
+        let mut expected_start = origin;
+        for i in 0..grid.num_slices() {
+            let (s, e) = grid.bounds(i);
+            prop_assert_eq!(s, expected_start);
+            prop_assert_eq!(e - s, slice);
+            expected_start = e;
+        }
+        prop_assert!(expected_start >= origin + span);
+        // Every instant maps to the slice containing it.
+        for t in [origin, origin + span / 2, origin + span - 1] {
+            let i = grid.slice_of(t);
+            let (s, e) = grid.bounds(i);
+            prop_assert!(s <= t && t < e);
+        }
+    }
+}
+
+
+// ---------- core: full attribution pipeline under random inputs ----------
+
+/// A random flat workload: n parallel phases with arbitrary intervals and
+/// rules, one CPU, random measurements.
+fn random_scenario() -> impl Strategy<
+    Value = (ExecutionModel, RuleSet, ExecutionTrace, ResourceTrace),
+> {
+    (
+        prop::collection::vec((0u64..20, 1u64..20, 0u8..3, 1u32..6), 1..8),
+        prop::collection::vec(0.0f64..5.0, 1..10),
+    )
+        .prop_map(|(phases, samples)| {
+            let mut b = ExecutionModelBuilder::new("job");
+            let root = b.root();
+            let ty = b.child(root, "p", Repeat::Parallel);
+            let model = b.build();
+            let mut rules = RuleSet::new().with_default(AttributionRule::None);
+            let end = phases
+                .iter()
+                .map(|&(s, d, _, _)| s + d)
+                .max()
+                .unwrap()
+                .max(samples.len() as u64 * 2);
+            let mut tb = TraceBuilder::new(&model);
+            tb.add_phase(&[("job", 0)], 0, end * 10 * MILLIS, None, None)
+                .unwrap();
+            for (k, &(start, dur, rule_kind, weight)) in phases.iter().enumerate() {
+                tb.add_phase(
+                    &[("job", 0), ("p", k as u32)],
+                    start * 10 * MILLIS,
+                    (start + dur) * 10 * MILLIS,
+                    Some(0),
+                    Some(k as u16),
+                )
+                .unwrap();
+                // One rule for the whole type: last phase wins, which is
+                // fine — the invariants hold for any rule.
+                let rule = match rule_kind {
+                    0 => AttributionRule::None,
+                    1 => AttributionRule::Exact((weight as f64 / 10.0).min(1.0)),
+                    _ => AttributionRule::Variable(weight as f64),
+                };
+                rules.set(ty, "cpu", rule);
+            }
+            let trace = tb.build().unwrap();
+            let mut rt = ResourceTrace::new();
+            let cpu = rt.add_resource(ResourceInstance {
+                kind: "cpu".into(),
+                machine: Some(0),
+                capacity: 4.0,
+            });
+            rt.add_series(cpu, 0, 20 * MILLIS, &samples);
+            (model, rules, trace, rt)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    #[test]
+    fn attribution_pipeline_invariants_hold_for_random_inputs(
+        (model, rules, trace, rt) in random_scenario()
+    ) {
+        let profile = build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default());
+        let measured = rt.total_consumption(grade10::core::trace::ResourceIdx(0));
+        let upsampled: f64 =
+            profile.consumption[0].iter().sum::<f64>() * profile.grid.slice_secs();
+        // Conservation up to reported overflow.
+        prop_assert!(
+            (measured - upsampled - profile.overflow[0]).abs() < 1e-6 + measured * 1e-9
+        );
+        // Capacity respected everywhere.
+        for &c in &profile.consumption[0] {
+            prop_assert!(c <= 4.0 + 1e-9);
+            prop_assert!(c >= -1e-12);
+        }
+        // Attribution + unattributed == consumption per slice.
+        for s in 0..profile.grid.num_slices() {
+            let attributed: f64 = profile.usages.iter().map(|u| u.usage_at(s)).sum();
+            prop_assert!(
+                (attributed + profile.unattributed[0][s] - profile.consumption[0][s]).abs()
+                    < 1e-6
+            );
+            prop_assert!(attributed >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn critical_path_accounts_for_the_whole_makespan(
+        durs in prop::collection::vec(1u64..100, 2..10)
+    ) {
+        // Sequential steps: the path must cover every step exactly.
+        let mut b = ExecutionModelBuilder::new("job");
+        let root = b.root();
+        let _ = b.child(root, "step", Repeat::Sequential);
+        let model = b.build();
+        let total: u64 = durs.iter().sum();
+        let mut tb = TraceBuilder::new(&model);
+        tb.add_phase(&[("job", 0)], 0, total * MILLIS, None, None).unwrap();
+        let mut t0 = 0u64;
+        for (k, &d) in durs.iter().enumerate() {
+            tb.add_phase(
+                &[("job", 0), ("step", k as u32)],
+                t0 * MILLIS,
+                (t0 + d) * MILLIS,
+                Some(0),
+                Some(0),
+            )
+            .unwrap();
+            t0 += d;
+        }
+        let trace = tb.build().unwrap();
+        let cp = critical_path(&model, &trace, &Default::default());
+        prop_assert_eq!(cp.makespan, total * MILLIS);
+        prop_assert_eq!(cp.hops.len(), durs.len());
+        let path_time: u64 = cp.hops.iter().map(|h| h.end - h.start).sum();
+        prop_assert_eq!(path_time, total * MILLIS);
+    }
+
+    #[test]
+    fn gantt_renders_arbitrary_traces_without_panicking(
+        phases in prop::collection::vec((0u64..50, 1u64..50), 1..20),
+        width in 1usize..200,
+    ) {
+        let mut b = ExecutionModelBuilder::new("job");
+        let root = b.root();
+        let _ = b.child(root, "p", Repeat::Parallel);
+        let model = b.build();
+        let end = phases.iter().map(|&(s, d)| s + d).max().unwrap();
+        let mut tb = TraceBuilder::new(&model);
+        tb.add_phase(&[("job", 0)], 0, end * MILLIS, None, None).unwrap();
+        for (k, &(s, d)) in phases.iter().enumerate() {
+            tb.add_phase(
+                &[("job", 0), ("p", k as u32)],
+                s * MILLIS,
+                (s + d).min(end) * MILLIS,
+                Some(0),
+                Some(k as u16),
+            )
+            .unwrap();
+        }
+        let trace = tb.build().unwrap();
+        let out = render_gantt(
+            &model,
+            &trace,
+            &GanttConfig {
+                width,
+                max_depth: 2,
+                max_rows: 10,
+            },
+        );
+        prop_assert!(!out.is_empty());
+        // Row count respects the cap (+1 for the omission note).
+        prop_assert!(out.lines().count() <= 11);
+    }
+}

@@ -1,0 +1,260 @@
+//! Failure injection and degenerate-input robustness: corrupted logs,
+//! monitoring gaps, misdeclared capacities, and extreme cluster shapes must
+//! either produce clean errors or degrade gracefully — never panic or
+//! silently fabricate data.
+
+use grade10::core::attribution::{build_profile, ProfileConfig};
+use grade10::core::bottleneck::{BottleneckConfig, BottleneckReport};
+use grade10::core::model::{ExecutionModelBuilder, Repeat, RuleSet};
+use grade10::core::parse::{build_execution_trace, RawEvent, RawEventKind};
+use grade10::core::pipeline::{characterize, CharacterizationConfig};
+use grade10::core::trace::{Measurement, ResourceInstance, ResourceTrace, TraceBuilder, MILLIS};
+use grade10::engines::bridge::to_raw_events;
+use grade10::engines::pregel::PregelConfig;
+use grade10::engines::{run_workload, Algorithm, Dataset, EngineKind, WorkloadSpec};
+
+fn tiny_run() -> grade10::engines::WorkloadRun {
+    run_workload(&WorkloadSpec {
+        dataset: Dataset::Rmat { scale: 9, seed: 3 },
+        algorithm: Algorithm::PageRank { iterations: 2 },
+        engine: EngineKind::Giraph(PregelConfig {
+            machines: 2,
+            threads: 2,
+            cores: 2.0,
+            ..Default::default()
+        }),
+    })
+}
+
+#[test]
+fn truncated_log_stream_is_a_clean_error() {
+    let run = tiny_run();
+    let mut events = to_raw_events(&run.sim.logs);
+    // Cut the stream mid-run: some phases never end.
+    events.truncate(events.len() / 2);
+    let err = build_execution_trace(&run.model, &events).unwrap_err();
+    assert!(err.detail().contains("never ended"), "unexpected error: {err}");
+}
+
+#[test]
+fn orphan_events_are_clean_errors() {
+    let run = tiny_run();
+    let mut events = to_raw_events(&run.sim.logs);
+    // Drop the very first event (the job's PhaseStart): its end is now
+    // an end-without-start.
+    events.remove(0);
+    let err = build_execution_trace(&run.model, &events).unwrap_err();
+    assert!(
+        err.detail().contains("without starting") || err.detail().contains("parent instance"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn foreign_phase_names_are_clean_errors() {
+    let run = tiny_run();
+    let mut events = to_raw_events(&run.sim.logs);
+    for ev in &mut events {
+        if let RawEventKind::PhaseStart { path } | RawEventKind::PhaseEnd { path } =
+            &mut ev.kind
+        {
+            for seg in path.iter_mut() {
+                if seg.0 == "superstep" {
+                    seg.0 = "mystery".to_string();
+                }
+            }
+        }
+    }
+    let err = build_execution_trace(&run.model, &events).unwrap_err();
+    assert!(err.detail().contains("unknown phase type"), "unexpected error: {err}");
+}
+
+#[test]
+fn monitoring_gaps_degrade_gracefully() {
+    // Drop every other measurement window: the profile must still build,
+    // conserve what was measured, and keep consumption within capacity.
+    let run = tiny_run();
+    let full = run.resource_trace(8);
+    let mut gappy = ResourceTrace::new();
+    for (ri, res) in full.instances().iter().enumerate() {
+        let idx = gappy.add_resource(res.clone());
+        for (k, m) in full
+            .measurements(grade10::core::trace::ResourceIdx(ri as u32))
+            .iter()
+            .enumerate()
+        {
+            if k % 2 == 0 {
+                gappy.add_measurement(idx, *m);
+            }
+        }
+    }
+    let profile = build_profile(
+        &run.model,
+        &run.rules_tuned,
+        &run.trace,
+        &gappy,
+        &ProfileConfig::default(),
+    );
+    for (r, res) in profile.resources.iter().enumerate() {
+        let measured = gappy.total_consumption(grade10::core::trace::ResourceIdx(r as u32));
+        let upsampled: f64 =
+            profile.consumption[r].iter().sum::<f64>() * profile.grid.slice_secs();
+        assert!(
+            (measured - upsampled - profile.overflow[r]).abs() < 1e-6 + measured * 1e-9,
+            "{} not conserved under gaps",
+            res.label()
+        );
+    }
+    // The rest of the pipeline keeps working on the gappy profile.
+    let report = BottleneckReport::build(&run.trace, &profile, &BottleneckConfig::default());
+    let _ = report.blocked_time_by_type(&run.trace);
+}
+
+#[test]
+fn misdeclared_capacity_surfaces_as_overflow() {
+    // Declare the CPU half as big as it really is: the measured usage
+    // cannot fit and must be reported, not silently clipped.
+    let run = tiny_run();
+    let full = run.resource_trace(8);
+    let mut wrong = ResourceTrace::new();
+    for (ri, res) in full.instances().iter().enumerate() {
+        let mut res = res.clone();
+        if res.kind == "cpu" {
+            res.capacity /= 4.0;
+        }
+        let idx = wrong.add_resource(res);
+        for m in full.measurements(grade10::core::trace::ResourceIdx(ri as u32)) {
+            wrong.add_measurement(idx, *m);
+        }
+    }
+    let profile = build_profile(
+        &run.model,
+        &run.rules_tuned,
+        &run.trace,
+        &wrong,
+        &ProfileConfig::default(),
+    );
+    let cpu_overflow: f64 = profile
+        .resources
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.kind == "cpu")
+        .map(|(r, _)| profile.overflow[r])
+        .sum();
+    assert!(
+        cpu_overflow > 0.0,
+        "under-declared capacity must surface as overflow"
+    );
+    for (r, res) in profile.resources.iter().enumerate() {
+        for &c in &profile.consumption[r] {
+            assert!(c <= res.capacity * (1.0 + 1e-9));
+        }
+    }
+}
+
+#[test]
+fn zero_length_phases_are_tolerated() {
+    let mut b = ExecutionModelBuilder::new("job");
+    let r = b.root();
+    b.child(r, "p", Repeat::Parallel);
+    let model = b.build();
+    let mut tb = TraceBuilder::new(&model);
+    tb.add_phase(&[("job", 0)], 0, 100 * MILLIS, None, None).unwrap();
+    // An instantaneous phase (start == end) plus a normal one.
+    tb.add_phase(&[("job", 0), ("p", 0)], 50 * MILLIS, 50 * MILLIS, Some(0), Some(0))
+        .unwrap();
+    tb.add_phase(&[("job", 0), ("p", 1)], 0, 100 * MILLIS, Some(0), Some(1))
+        .unwrap();
+    let trace = tb.build().unwrap();
+    let mut rt = ResourceTrace::new();
+    let cpu = rt.add_resource(ResourceInstance {
+        kind: "cpu".into(),
+        machine: Some(0),
+        capacity: 2.0,
+    });
+    rt.add_series(cpu, 0, 50 * MILLIS, &[1.0, 1.0]);
+    let result = characterize(
+        &model,
+        &RuleSet::new(),
+        &trace,
+        &rt,
+        &CharacterizationConfig::default(),
+    );
+    assert_eq!(result.base_makespan, 100 * MILLIS);
+}
+
+#[test]
+fn monitoring_beyond_trace_end_extends_the_grid() {
+    let model = ExecutionModelBuilder::new("job").build();
+    let mut tb = TraceBuilder::new(&model);
+    tb.add_phase(&[("job", 0)], 0, 30 * MILLIS, Some(0), Some(0)).unwrap();
+    let trace = tb.build().unwrap();
+    let mut rt = ResourceTrace::new();
+    let cpu = rt.add_resource(ResourceInstance {
+        kind: "cpu".into(),
+        machine: Some(0),
+        capacity: 2.0,
+    });
+    // Monitoring runs twice as long as the trace.
+    rt.add_measurement(
+        cpu,
+        Measurement {
+            start: 0,
+            end: 60 * MILLIS,
+            avg: 1.0,
+        },
+    );
+    let profile = build_profile(&model, &RuleSet::new(), &trace, &rt, &ProfileConfig::default());
+    assert_eq!(profile.grid.num_slices(), 6);
+    let total: f64 = profile.consumption[0].iter().sum::<f64>() * profile.grid.slice_secs();
+    assert!((total - 0.06).abs() < 1e-9, "total {total}");
+}
+
+#[test]
+fn single_machine_single_thread_cluster_works_end_to_end() {
+    let run = run_workload(&WorkloadSpec {
+        dataset: Dataset::Rmat { scale: 8, seed: 3 },
+        algorithm: Algorithm::Bfs { root: 0 },
+        engine: EngineKind::Giraph(PregelConfig {
+            machines: 1,
+            threads: 1,
+            cores: 1.0,
+            ..Default::default()
+        }),
+    });
+    // No peers: no remote messages, no network traffic.
+    let net: f64 = run
+        .sim
+        .series
+        .iter()
+        .filter(|s| {
+            s.spec.kind.name() == "net_out" || s.spec.kind.name() == "net_in"
+        })
+        .map(|s| s.total_consumption())
+        .sum();
+    assert_eq!(net, 0.0);
+    let resources = run.resource_trace(4);
+    let result = characterize(
+        &run.model,
+        &run.rules_tuned,
+        &run.trace,
+        &resources,
+        &CharacterizationConfig::default(),
+    );
+    assert!(result.base_makespan > 0);
+}
+
+#[test]
+fn duplicated_events_are_clean_errors() {
+    let run = tiny_run();
+    let mut events = to_raw_events(&run.sim.logs);
+    let dup: Vec<RawEvent> = events
+        .iter()
+        .filter(|e| matches!(e.kind, RawEventKind::PhaseStart { .. }))
+        .take(1)
+        .cloned()
+        .collect();
+    events.extend(dup);
+    let err = build_execution_trace(&run.model, &events).unwrap_err();
+    assert!(err.detail().contains("started twice"), "unexpected error: {err}");
+}

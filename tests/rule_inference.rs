@@ -1,0 +1,114 @@
+//! Integration test of attribution-rule inference (§V "ongoing work"):
+//! learn the rules from one finely monitored calibration run, then verify
+//! they work as well as (or better than) the untuned default on the coarse
+//! monitoring the production workflow would use.
+
+use grade10::core::attribution::{relative_sampling_error, UpsampleMode};
+use grade10::core::infer::{infer_rules, InferenceConfig};
+use grade10::core::model::AttributionRule;
+use grade10::engines::pregel::PregelConfig;
+use grade10::engines::{run_workload, Algorithm, Dataset, EngineKind, WorkloadRun, WorkloadSpec};
+
+const GT: u64 = 50_000_000;
+
+fn calibration_run() -> WorkloadRun {
+    run_workload(&WorkloadSpec {
+        dataset: Dataset::Rmat { scale: 10, seed: 5 },
+        algorithm: Algorithm::PageRank { iterations: 5 },
+        engine: EngineKind::Giraph(PregelConfig {
+            machines: 2,
+            threads: 4,
+            cores: 8.0, // headroom, so thread demand is visible, not clipped
+            ..Default::default()
+        }),
+    })
+}
+
+#[test]
+fn inference_recovers_one_core_per_compute_thread() {
+    let run = calibration_run();
+    let fine = run.resource_trace(1);
+    let result = infer_rules(&run.model, &run.trace, &fine, &InferenceConfig::default());
+    let thread = run.model.find_by_name("thread").unwrap();
+    let demand = result
+        .demand_of(thread, "cpu")
+        .expect("cpu demand for compute threads");
+    assert!(
+        (demand - 1.0).abs() < 0.25,
+        "compute thread demand should be ~1 core, got {demand:.3}"
+    );
+    let cpu_fit = result
+        .fits
+        .iter()
+        .find(|f| f.resource_kind == "cpu")
+        .unwrap();
+    assert!(cpu_fit.r2 > 0.7, "cpu fit r2 {}", cpu_fit.r2);
+}
+
+#[test]
+fn inferred_rules_beat_untuned_on_coarse_monitoring() {
+    let run = calibration_run();
+    let fine = run.resource_trace(1);
+    let inferred = infer_rules(&run.model, &run.trace, &fine, &InferenceConfig::default())
+        .to_rule_set();
+
+    let cpu_error = |rules: &grade10::core::model::RuleSet| {
+        let profile = run.build_profile(rules, 16, GT, UpsampleMode::DemandGuided);
+        let mut up = Vec::new();
+        let mut truth = Vec::new();
+        for (r, res) in profile.resources.iter().enumerate() {
+            if res.kind != "cpu" {
+                continue;
+            }
+            let t = run
+                .ground_truth()
+                .iter()
+                .find(|s| s.spec.kind.name() == "cpu" && Some(s.spec.machine) == res.machine)
+                .unwrap();
+            let n = profile.consumption[r].len().min(t.samples.len());
+            up.extend_from_slice(&profile.consumption[r][..n]);
+            truth.extend_from_slice(&t.samples[..n]);
+        }
+        relative_sampling_error(&up, &truth)
+    };
+
+    let untuned = cpu_error(&run.rules_untuned);
+    let learned = cpu_error(&inferred);
+    assert!(
+        learned <= untuned + 1e-9,
+        "inferred rules ({learned:.4}) must not lose to untuned ({untuned:.4})"
+    );
+}
+
+#[test]
+fn inference_assigns_no_cpu_demand_to_pure_waiting() {
+    // The load phase computes; if a type never overlaps CPU activity it
+    // must not get a large CPU coefficient. Sanity-check: thread demand
+    // dwarfs whatever (if anything) is assigned to communicate, which only
+    // drains the network.
+    let run = calibration_run();
+    let fine = run.resource_trace(1);
+    let result = infer_rules(&run.model, &run.trace, &fine, &InferenceConfig::default());
+    let thread = run.model.find_by_name("thread").unwrap();
+    let communicate = run.model.find_by_name("communicate").unwrap();
+    let dt = result.demand_of(thread, "cpu").unwrap_or(0.0);
+    let dc = result.demand_of(communicate, "cpu").unwrap_or(0.0);
+    assert!(
+        dt > 2.0 * dc,
+        "threads ({dt:.3}) should dominate communicate ({dc:.3}) on CPU"
+    );
+}
+
+#[test]
+fn rule_set_policy_is_consistent() {
+    let run = calibration_run();
+    let fine = run.resource_trace(1);
+    let result = infer_rules(&run.model, &run.trace, &fine, &InferenceConfig::default());
+    let rules = result.to_rule_set();
+    // Every emitted Exact proportion is a valid capacity fraction.
+    for d in &result.demands {
+        if let AttributionRule::Exact(p) = rules.get(d.phase_type, &d.resource_kind) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Degraded-node scenario: one machine in the cluster computes 60 % slower.
+//! Grade10's imbalance analysis must surface the straggler — both as a
+//! larger balance-the-threads win and as a consistently slower machine in
+//! the per-worker statistics (the cross-worker skew of the paper's Fig. 6).
+
+use grade10::core::issues::imbalance::{imbalance_groups, imbalance_issue};
+use grade10::core::replay::ReplayConfig;
+use grade10::engines::pregel::PregelConfig;
+use grade10::engines::{run_workload, Algorithm, Dataset, EngineKind, WorkloadRun, WorkloadSpec};
+
+const SLOW_MACHINE: usize = 1;
+
+fn run(factor: f64) -> WorkloadRun {
+    let mut work_factor = vec![1.0; 2];
+    work_factor[SLOW_MACHINE] = factor;
+    run_workload(&WorkloadSpec {
+        dataset: Dataset::Rmat { scale: 10, seed: 7 },
+        algorithm: Algorithm::PageRank { iterations: 4 },
+        engine: EngineKind::Giraph(PregelConfig {
+            machines: 2,
+            threads: 4,
+            cores: 4.0,
+            machine_work_factor: work_factor,
+            ..Default::default()
+        }),
+    })
+}
+
+#[test]
+fn straggler_machine_slows_the_whole_job() {
+    let healthy = run(1.0);
+    let degraded = run(1.6);
+    assert!(
+        degraded.sim.end_time > healthy.sim.end_time,
+        "degraded {} !> healthy {}",
+        degraded.sim.end_time,
+        healthy.sim.end_time
+    );
+}
+
+#[test]
+fn imbalance_analysis_quantifies_the_degradation() {
+    let healthy = run(1.0);
+    let degraded = run(1.6);
+    let thread_ty = healthy.model.find_by_name("thread").unwrap();
+    let cfg = ReplayConfig::default();
+    let h = imbalance_issue(&healthy.model, &healthy.trace, thread_ty, &cfg);
+    let d = imbalance_issue(&degraded.model, &degraded.trace, thread_ty, &cfg);
+    assert!(
+        d.reduction > h.reduction + 0.05,
+        "degraded imbalance {:.3} should clearly exceed healthy {:.3}",
+        d.reduction,
+        h.reduction
+    );
+}
+
+#[test]
+fn per_worker_medians_point_at_the_slow_machine() {
+    let degraded = run(1.6);
+    let thread_ty = degraded.model.find_by_name("thread").unwrap();
+    let groups = imbalance_groups(&degraded.model, &degraded.trace, thread_ty);
+    // In (almost) every superstep, the slow machine's median thread takes
+    // longer than the healthy machine's.
+    let mut slower = 0usize;
+    let mut comparable = 0usize;
+    for g in &groups {
+        let healthy_median = g.machine_median(Some(0));
+        let slow_median = g.machine_median(Some(SLOW_MACHINE as u16));
+        if let (Some(h), Some(s)) = (healthy_median, slow_median) {
+            comparable += 1;
+            if s > h {
+                slower += 1;
+            }
+        }
+    }
+    assert!(comparable >= 3, "need enough supersteps to compare");
+    assert!(
+        slower * 3 >= comparable * 2,
+        "slow machine should have the higher median in most supersteps \
+         ({slower}/{comparable})"
+    );
+}
