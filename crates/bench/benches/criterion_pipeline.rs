@@ -1,11 +1,16 @@
-//! Criterion micro-benchmarks of Grade10's own analysis cost.
+//! Micro-benchmarks of Grade10's own analysis cost.
 //!
 //! The paper's R4 requires the *monitoring* to be lightweight; these
 //! benches additionally quantify that the offline analysis scales well:
 //! demand estimation, upsampling + attribution (the full profile build),
 //! bottleneck scanning, and replay simulation, as a function of trace size.
+//!
+//! Uses a self-contained timing harness (median of repeated timed runs
+//! after a warmup pass) instead of an external benchmark framework, so the
+//! workspace builds with no registry access.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use grade10_core::attribution::{build_profile, ProfileConfig};
 use grade10_core::bottleneck::{BottleneckConfig, BottleneckReport};
@@ -13,9 +18,8 @@ use grade10_core::model::{
     AttributionRule, ExecutionModel, ExecutionModelBuilder, Repeat, RuleSet,
 };
 use grade10_core::replay::{replay_original, ReplayConfig};
-use grade10_core::trace::{
-    ExecutionTrace, ResourceInstance, ResourceTrace, TraceBuilder, MILLIS,
-};
+use grade10_core::report::Table;
+use grade10_core::trace::{ExecutionTrace, ResourceInstance, ResourceTrace, TraceBuilder, MILLIS};
 
 /// Builds a synthetic BSP-shaped trace: `steps` sequential steps × 4
 /// machines × `threads` parallel tasks, 100 ms each, with one 8-core CPU
@@ -90,42 +94,59 @@ fn synthetic(
     (model, rules, trace, rt)
 }
 
-fn bench_profile_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("profile_build");
+/// Times `f` with one warmup pass, returning the median over `iters` timed
+/// runs, in microseconds.
+fn time_median_us<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    black_box(f());
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    println!("=== Analysis-cost micro-benchmarks (median of 10 runs) ===\n");
+    let mut table = Table::new(&["benchmark", "steps", "median (us)"]);
+
     for steps in [10usize, 50, 100] {
         let (model, rules, trace, rt) = synthetic(steps, 8);
-        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
-            b.iter(|| {
-                build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default())
-            })
+        let us = time_median_us(10, || {
+            build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default())
         });
+        table.row(&[
+            "profile_build".to_string(),
+            steps.to_string(),
+            format!("{us:.1}"),
+        ]);
     }
-    group.finish();
-}
 
-fn bench_bottleneck_scan(c: &mut Criterion) {
     let (model, rules, trace, rt) = synthetic(50, 8);
     let profile = build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default());
-    c.bench_function("bottleneck_scan_50steps", |b| {
-        b.iter(|| BottleneckReport::build(&trace, &profile, &BottleneckConfig::default()))
+    let us = time_median_us(10, || {
+        BottleneckReport::build(&trace, &profile, &BottleneckConfig::default())
     });
-}
+    table.row(&[
+        "bottleneck_scan".to_string(),
+        "50".to_string(),
+        format!("{us:.1}"),
+    ]);
 
-fn bench_replay(c: &mut Criterion) {
-    let mut group = c.benchmark_group("replay");
     for steps in [10usize, 50, 100] {
         let (model, _, trace, _) = synthetic(steps, 8);
-        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
-            b.iter(|| replay_original(&model, &trace, &ReplayConfig::default()))
+        let us = time_median_us(10, || {
+            replay_original(&model, &trace, &ReplayConfig::default())
         });
+        table.row(&[
+            "replay".to_string(),
+            steps.to_string(),
+            format!("{us:.1}"),
+        ]);
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_profile_build,
-    bench_bottleneck_scan,
-    bench_replay
-);
-criterion_main!(benches);
+    println!("{}", table.render());
+}

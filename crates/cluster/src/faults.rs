@@ -1,0 +1,529 @@
+//! Deterministic fault injection for the data-collection path.
+//!
+//! Grade10 consumes two streams from the system under test: execution logs
+//! and monitoring data (§III-C). On a real cluster both are produced by
+//! best-effort agents — NTP-skewed clocks, UDP log shippers, crashing
+//! workers, monitoring daemons that miss windows. This module corrupts the
+//! *pristine* streams leaving the simulator in exactly those ways, so the
+//! ingestion layer's strict/lenient behavior can be exercised under a
+//! seeded, reproducible fault model.
+//!
+//! Every fault class is independently toggleable via its `Option` field in
+//! [`FaultPlan`], and every random choice derives from the plan's seed
+//! through per-fault sub-streams: enabling one fault never changes the
+//! random choices of another, and re-running with the same seed reproduces
+//! the same corruption byte for byte.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::logging::LogRecord;
+use crate::monitor::ResourceSeries;
+use crate::time::{SimDuration, SimTime};
+
+// Distinct stream tags so each fault draws from its own RNG stream.
+const TAG_SKEW: u64 = 0x5157_4b45_0000_0001;
+const TAG_REORDER: u64 = 0x5157_4b45_0000_0002;
+const TAG_DROP: u64 = 0x5157_4b45_0000_0003;
+const TAG_DUP: u64 = 0x5157_4b45_0000_0004;
+const TAG_TRUNC: u64 = 0x5157_4b45_0000_0005;
+const TAG_MON: u64 = 0x5157_4b45_0000_0006;
+
+/// Per-machine constant clock offset, as if machines disagreed by up to
+/// `max_skew` (NTP drift). Breaks cross-machine timestamp monotonicity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClockSkewFault {
+    /// Largest offset a machine's clock can run fast by.
+    pub max_skew: SimDuration,
+}
+
+/// Bounded event reordering: a fraction of records get their timestamp
+/// jittered by up to `max_displacement` in either direction, as if log
+/// shipping delivered them late or early.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReorderFault {
+    /// Largest displacement of one record's timestamp.
+    pub max_displacement: SimDuration,
+    /// Probability that a given record is displaced.
+    pub fraction: f64,
+}
+
+/// Random record loss (lossy log shipping).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DropFault {
+    /// Probability that a given record is lost.
+    pub fraction: f64,
+}
+
+/// Random record duplication (at-least-once log shipping).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DuplicateFault {
+    /// Probability that a given record is delivered twice.
+    pub fraction: f64,
+}
+
+/// One machine crashes mid-run: its log records and monitoring samples
+/// after `keep_fraction` of its active time span are lost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TruncateFault {
+    /// Fraction of the victim machine's time span that survives.
+    pub keep_fraction: f64,
+}
+
+/// Corrupted monitoring samples: missing windows (NaN) and sign-flipped
+/// readings from a buggy collection agent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MonitoringFault {
+    /// Probability that a sample is replaced by NaN (a missed window).
+    pub nan_fraction: f64,
+    /// Probability that a (remaining) sample is made negative.
+    pub negative_fraction: f64,
+}
+
+/// The fault classes the harness can inject, for CLI flags and sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Per-machine clock skew.
+    ClockSkew,
+    /// Bounded event reordering.
+    Reorder,
+    /// Dropped records.
+    Drop,
+    /// Duplicated records.
+    Duplicate,
+    /// Worker crash truncating one machine's streams.
+    Truncate,
+    /// Missing / negative monitoring samples.
+    Monitoring,
+}
+
+impl FaultClass {
+    /// All classes, in a fixed order.
+    pub const ALL: [FaultClass; 6] = [
+        FaultClass::ClockSkew,
+        FaultClass::Reorder,
+        FaultClass::Drop,
+        FaultClass::Duplicate,
+        FaultClass::Truncate,
+        FaultClass::Monitoring,
+    ];
+
+    /// Stable CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultClass::ClockSkew => "clock-skew",
+            FaultClass::Reorder => "reorder",
+            FaultClass::Drop => "drop",
+            FaultClass::Duplicate => "duplicate",
+            FaultClass::Truncate => "truncate",
+            FaultClass::Monitoring => "monitoring",
+        }
+    }
+
+    /// Parses a CLI name ([`name`](Self::name) inverse).
+    pub fn from_name(s: &str) -> Option<FaultClass> {
+        FaultClass::ALL.iter().find(|c| c.name() == s).copied()
+    }
+}
+
+/// A seeded, reproducible corruption plan for one run's output streams.
+///
+/// Each field enables one fault class with its parameters; `None` leaves
+/// that class off. [`FaultPlan::single`] and [`FaultPlan::all`] build
+/// presets with moderate default severities.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed all random choices derive from.
+    pub seed: u64,
+    /// Per-machine clock skew.
+    pub clock_skew: Option<ClockSkewFault>,
+    /// Bounded reordering.
+    pub reorder: Option<ReorderFault>,
+    /// Record loss.
+    pub drop: Option<DropFault>,
+    /// Record duplication.
+    pub duplicate: Option<DuplicateFault>,
+    /// Worker crash.
+    pub truncate: Option<TruncateFault>,
+    /// Monitoring corruption.
+    pub monitoring: Option<MonitoringFault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults enabled (identity transform).
+    pub fn clean(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Enables one fault class at its default severity.
+    pub fn single(class: FaultClass, seed: u64) -> FaultPlan {
+        let mut p = FaultPlan::clean(seed);
+        p.enable(class);
+        p
+    }
+
+    /// Enables every fault class at its default severity.
+    pub fn all(seed: u64) -> FaultPlan {
+        let mut p = FaultPlan::clean(seed);
+        for c in FaultClass::ALL {
+            p.enable(c);
+        }
+        p
+    }
+
+    /// Turns one class on at its default severity.
+    pub fn enable(&mut self, class: FaultClass) -> &mut Self {
+        match class {
+            FaultClass::ClockSkew => {
+                self.clock_skew = Some(ClockSkewFault {
+                    max_skew: SimDuration::from_millis(50),
+                })
+            }
+            FaultClass::Reorder => {
+                self.reorder = Some(ReorderFault {
+                    max_displacement: SimDuration::from_millis(5),
+                    fraction: 0.25,
+                })
+            }
+            FaultClass::Drop => self.drop = Some(DropFault { fraction: 0.05 }),
+            FaultClass::Duplicate => self.duplicate = Some(DuplicateFault { fraction: 0.05 }),
+            FaultClass::Truncate => {
+                self.truncate = Some(TruncateFault { keep_fraction: 0.7 })
+            }
+            FaultClass::Monitoring => {
+                self.monitoring = Some(MonitoringFault {
+                    nan_fraction: 0.1,
+                    negative_fraction: 0.05,
+                })
+            }
+        }
+        self
+    }
+
+    /// The classes this plan enables.
+    pub fn enabled(&self) -> Vec<FaultClass> {
+        let mut out = Vec::new();
+        if self.clock_skew.is_some() {
+            out.push(FaultClass::ClockSkew);
+        }
+        if self.reorder.is_some() {
+            out.push(FaultClass::Reorder);
+        }
+        if self.drop.is_some() {
+            out.push(FaultClass::Drop);
+        }
+        if self.duplicate.is_some() {
+            out.push(FaultClass::Duplicate);
+        }
+        if self.truncate.is_some() {
+            out.push(FaultClass::Truncate);
+        }
+        if self.monitoring.is_some() {
+            out.push(FaultClass::Monitoring);
+        }
+        out
+    }
+
+    fn stream(&self, tag: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(self.seed ^ tag)
+    }
+
+    /// A machine's clock offset: order-independent (derived from the seed
+    /// and the machine id, not from draw order).
+    fn skew_of(&self, f: &ClockSkewFault, machine: u16) -> SimDuration {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ TAG_SKEW ^ (machine as u64) << 32);
+        SimDuration(rng.gen_range(0..=f.max_skew.as_nanos()))
+    }
+
+    /// The crashing machine for a cluster of `machines` machines, and the
+    /// fraction of the run it survives. Both log and monitoring truncation
+    /// use this, so the "crash" is consistent across streams.
+    fn crash_site(&self, f: &TruncateFault, machines: u64) -> Option<(u16, f64)> {
+        if machines == 0 {
+            return None;
+        }
+        let mut rng = self.stream(TAG_TRUNC);
+        let victim = rng.gen_range(0..machines) as u16;
+        Some((victim, f.keep_fraction.clamp(0.0, 1.0)))
+    }
+
+    /// Applies the enabled log faults, in order: clock skew, reordering,
+    /// drops, duplication, truncation. The output preserves the input's
+    /// *arrival* order — corrupted timestamps are deliberately left
+    /// non-monotone, exactly as a collector would see them.
+    pub fn inject_logs(&self, logs: &[LogRecord]) -> Vec<LogRecord> {
+        let mut out: Vec<LogRecord> = logs.to_vec();
+
+        if let Some(f) = &self.clock_skew {
+            for rec in &mut out {
+                rec.time += self.skew_of(f, rec.machine);
+            }
+        }
+
+        if let Some(f) = &self.reorder {
+            let mut rng = self.stream(TAG_REORDER);
+            let max = f.max_displacement.as_nanos();
+            for rec in &mut out {
+                if rng.gen_bool(f.fraction.clamp(0.0, 1.0)) {
+                    let delta = rng.gen_range(0..=2 * max);
+                    rec.time = SimTime((rec.time.0 + delta).saturating_sub(max));
+                }
+            }
+        }
+
+        if let Some(f) = &self.drop {
+            let mut rng = self.stream(TAG_DROP);
+            let p = f.fraction.clamp(0.0, 1.0);
+            out.retain(|_| !rng.gen_bool(p));
+        }
+
+        if let Some(f) = &self.duplicate {
+            let mut rng = self.stream(TAG_DUP);
+            let p = f.fraction.clamp(0.0, 1.0);
+            let mut dup = Vec::with_capacity(out.len());
+            for rec in out {
+                let twice = rng.gen_bool(p);
+                dup.push(rec.clone());
+                if twice {
+                    dup.push(rec);
+                }
+            }
+            out = dup;
+        }
+
+        if let Some(f) = &self.truncate {
+            let machines = out.iter().map(|r| r.machine as u64 + 1).max().unwrap_or(0);
+            if let Some((victim, keep)) = self.crash_site(f, machines) {
+                let span: Vec<u64> = out
+                    .iter()
+                    .filter(|r| r.machine == victim)
+                    .map(|r| r.time.0)
+                    .collect();
+                if let (Some(&lo), Some(&hi)) = (span.iter().min(), span.iter().max()) {
+                    let cut = lo + ((hi - lo) as f64 * keep) as u64;
+                    out.retain(|r| r.machine != victim || r.time.0 <= cut);
+                }
+            }
+        }
+
+        out
+    }
+
+    /// Applies the enabled monitoring faults: sample corruption
+    /// (NaN / negative readings) and the worker crash, which truncates the
+    /// victim machine's series at the same point in time as its logs.
+    pub fn inject_series(&self, series: &[ResourceSeries]) -> Vec<ResourceSeries> {
+        let mut out: Vec<ResourceSeries> = series.to_vec();
+
+        if let Some(f) = &self.monitoring {
+            let mut rng = self.stream(TAG_MON);
+            let nan_p = f.nan_fraction.clamp(0.0, 1.0);
+            let neg_p = f.negative_fraction.clamp(0.0, 1.0);
+            for s in &mut out {
+                for v in &mut s.samples {
+                    if rng.gen_bool(nan_p) {
+                        *v = f64::NAN;
+                    } else if rng.gen_bool(neg_p) {
+                        *v = -v.abs() - 1.0;
+                    }
+                }
+            }
+        }
+
+        if let Some(f) = &self.truncate {
+            let machines = out
+                .iter()
+                .map(|s| s.spec.machine as u64 + 1)
+                .max()
+                .unwrap_or(0);
+            if let Some((victim, keep)) = self.crash_site(f, machines) {
+                for s in &mut out {
+                    if s.spec.machine != victim || s.samples.is_empty() {
+                        continue;
+                    }
+                    let span = s.interval.as_nanos() * s.samples.len() as u64;
+                    let cut = (span as f64 * keep) as u64;
+                    let kept = (cut / s.interval.as_nanos().max(1)) as usize;
+                    s.samples.truncate(kept.min(s.samples.len()));
+                }
+            }
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logging::{LogEvent, PhasePath};
+    use crate::monitor::{ResourceKind, ResourceSpec};
+
+    fn sample_logs() -> Vec<LogRecord> {
+        let mut out = Vec::new();
+        for m in 0..3u16 {
+            let path = PhasePath::root().child("job", 0).child("worker", m as u32);
+            out.push(LogRecord {
+                time: SimTime(1_000_000 * (m as u64 + 1)),
+                machine: m,
+                thread: 0,
+                event: LogEvent::PhaseStart { path: path.clone() },
+            });
+            out.push(LogRecord {
+                time: SimTime(100_000_000 + 1_000_000 * (m as u64 + 1)),
+                machine: m,
+                thread: 0,
+                event: LogEvent::PhaseEnd { path },
+            });
+        }
+        out.sort_by_key(|r| r.time);
+        out
+    }
+
+    fn sample_series() -> Vec<ResourceSeries> {
+        (0..3u16)
+            .map(|m| ResourceSeries {
+                spec: ResourceSpec {
+                    kind: ResourceKind::Cpu,
+                    machine: m,
+                    capacity: 4.0,
+                },
+                interval: SimDuration::from_millis(10),
+                samples: vec![1.0; 20],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_plan_is_identity() {
+        let p = FaultPlan::clean(7);
+        assert_eq!(p.inject_logs(&sample_logs()), sample_logs());
+        assert_eq!(p.inject_series(&sample_series()), sample_series());
+        assert!(p.enabled().is_empty());
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let a = FaultPlan::all(42);
+        let b = FaultPlan::all(42);
+        assert_eq!(a.inject_logs(&sample_logs()), b.inject_logs(&sample_logs()));
+        // NaN != NaN, so compare the debug form (bit-identical streams).
+        assert_eq!(
+            format!("{:?}", a.inject_series(&sample_series())),
+            format!("{:?}", b.inject_series(&sample_series()))
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let logs = sample_logs();
+        let a = FaultPlan::single(FaultClass::ClockSkew, 1).inject_logs(&logs);
+        let b = FaultPlan::single(FaultClass::ClockSkew, 2).inject_logs(&logs);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clock_skew_shifts_but_keeps_count() {
+        let logs = sample_logs();
+        let out = FaultPlan::single(FaultClass::ClockSkew, 3).inject_logs(&logs);
+        assert_eq!(out.len(), logs.len());
+        // Events on the same machine shift by the same offset.
+        let offsets: Vec<u64> = out
+            .iter()
+            .zip(&logs)
+            .map(|(a, b)| a.time.0 - b.time.0)
+            .collect();
+        for (o, rec) in offsets.iter().zip(&logs) {
+            let other = out
+                .iter()
+                .zip(&logs)
+                .filter(|(_, b)| b.machine == rec.machine)
+                .map(|(a, b)| a.time.0 - b.time.0);
+            for o2 in other {
+                assert_eq!(*o, o2);
+            }
+        }
+    }
+
+    #[test]
+    fn drop_and_duplicate_change_count() {
+        let logs: Vec<LogRecord> = (0..200)
+            .flat_map(|_| sample_logs())
+            .enumerate()
+            .map(|(i, mut r)| {
+                r.time = SimTime(r.time.0 + i as u64);
+                r
+            })
+            .collect();
+        let dropped = FaultPlan::single(FaultClass::Drop, 5).inject_logs(&logs);
+        assert!(dropped.len() < logs.len());
+        let duped = FaultPlan::single(FaultClass::Duplicate, 5).inject_logs(&logs);
+        assert!(duped.len() > logs.len());
+    }
+
+    #[test]
+    fn truncate_crashes_one_machine_in_both_streams() {
+        let plan = FaultPlan::single(FaultClass::Truncate, 11);
+        let logs = plan.inject_logs(&sample_logs());
+        let series = plan.inject_series(&sample_series());
+        // Exactly one machine lost log records...
+        let lost_logs: Vec<u16> = (0..3u16)
+            .filter(|m| {
+                logs.iter().filter(|r| r.machine == *m).count()
+                    < sample_logs().iter().filter(|r| r.machine == *m).count()
+            })
+            .collect();
+        assert_eq!(lost_logs.len(), 1);
+        // ...and the same machine lost monitoring samples.
+        let lost_mon: Vec<u16> = series
+            .iter()
+            .filter(|s| s.samples.len() < 20)
+            .map(|s| s.spec.machine)
+            .collect();
+        assert_eq!(lost_mon, lost_logs);
+    }
+
+    #[test]
+    fn monitoring_fault_corrupts_samples() {
+        let out = FaultPlan::single(FaultClass::Monitoring, 9).inject_series(&sample_series());
+        let bad = out
+            .iter()
+            .flat_map(|s| &s.samples)
+            .filter(|v| !v.is_finite() || **v < 0.0)
+            .count();
+        assert!(bad > 0, "expected corrupted samples");
+        // Series structure is untouched.
+        for (a, b) in out.iter().zip(sample_series()) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.samples.len(), b.samples.len());
+        }
+    }
+
+    #[test]
+    fn enabling_one_fault_does_not_disturb_another_stream() {
+        // Drop draws must be identical whether or not duplication is on:
+        // each fault has its own RNG stream.
+        let logs = sample_logs();
+        let only_drop = FaultPlan::single(FaultClass::Drop, 21).inject_logs(&logs);
+        let mut both_plan = FaultPlan::single(FaultClass::Drop, 21);
+        both_plan.enable(FaultClass::ClockSkew);
+        let both = both_plan.inject_logs(&logs);
+        // Strip the skew and compare survivors: the same records survived.
+        let survived_only: Vec<(u16, u16)> =
+            only_drop.iter().map(|r| (r.machine, r.thread)).collect();
+        let survived_both: Vec<(u16, u16)> = both.iter().map(|r| (r.machine, r.thread)).collect();
+        assert_eq!(survived_only.len(), survived_both.len());
+        assert_eq!(survived_only, survived_both);
+    }
+
+    #[test]
+    fn class_names_round_trip() {
+        for c in FaultClass::ALL {
+            assert_eq!(FaultClass::from_name(c.name()), Some(c));
+        }
+        assert_eq!(FaultClass::from_name("nope"), None);
+    }
+}

@@ -19,9 +19,14 @@
 //! paper studies.
 
 #![warn(missing_docs)]
+// Library code must classify failures, not abort: unwrap/expect are only
+// acceptable where an invariant makes failure impossible (and then a
+// targeted allow with a reason documents why).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod alloc;
 pub mod config;
+pub mod faults;
 pub mod logging;
 pub mod monitor;
 pub mod ops;
@@ -29,6 +34,7 @@ pub mod sim;
 pub mod time;
 
 pub use config::{ClusterConfig, GcConfig, MachineConfig, MachineId};
+pub use faults::{FaultClass, FaultPlan};
 pub use logging::{LogEvent, LogRecord, PathSeg, PhasePath};
 pub use monitor::{ResourceKind, ResourceSeries, ResourceSpec};
 pub use ops::{MsgOutput, Op, ThreadProgram};

@@ -91,12 +91,10 @@ impl fmt::Display for PhasePath {
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum LogEvent {
     /// A phase began on this (machine, thread).
-    /// A phase began on this (machine, thread).
     PhaseStart {
         /// Full instance path of the phase.
         path: PhasePath,
     },
-    /// A phase ended.
     /// A phase ended.
     PhaseEnd {
         /// Full instance path of the phase.
@@ -104,12 +102,10 @@ pub enum LogEvent {
     },
     /// The thread became blocked on a blocking resource (e.g. "gc", "msgq",
     /// "barrier").
-    /// The thread blocked on a blocking resource.
     BlockStart {
         /// Blocking resource name.
         resource: String,
     },
-    /// The thread resumed.
     /// The thread resumed.
     BlockEnd {
         /// Blocking resource name.

@@ -62,7 +62,7 @@ impl ResourceSpec {
 
 /// A utilization time series: average absolute usage per fixed interval,
 /// starting at time zero.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ResourceSeries {
     /// The resource this series measures.
     pub spec: ResourceSpec,

@@ -310,7 +310,9 @@ impl Runner {
                 })
                 .collect();
             for id in ready_ids {
-                let st = self.barriers.remove(&id).unwrap();
+                let Some(st) = self.barriers.remove(&id) else {
+                    unreachable!("barrier {id:?} was collected from this map above");
+                };
                 for tid in st.waiting {
                     self.set_blocked(tid, None);
                     self.threads[tid].status = Status::Ready;
@@ -445,7 +447,9 @@ impl Runner {
             // End a pause that has run its course.
             if let Some(until) = self.machines[m].gc_until {
                 if self.now >= until {
-                    let gc = self.config.machines[m].gc.as_ref().unwrap();
+                    let Some(gc) = self.config.machines[m].gc.as_ref() else {
+                        unreachable!("machine {m} has gc_until set, so it has a GC config");
+                    };
                     self.machines[m].heap_used *= gc.live_fraction;
                     self.machines[m].gc_until = None;
                     let paused = std::mem::take(&mut self.machines[m].gc_paused_threads);

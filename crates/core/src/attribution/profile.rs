@@ -42,6 +42,15 @@ pub struct ProfileConfig {
     /// Threading of the upsampling stage; the result is bit-identical
     /// either way.
     pub parallelism: Parallelism,
+    /// When monitoring does not cover a timeslice (crashed monitor,
+    /// dropped windows), estimate its consumption from the modeled demand
+    /// instead of treating it as idle: `min(capacity, exact + α ×
+    /// variable)`, with α calibrated from the slices that *were* measured.
+    /// Estimated slices are flagged in
+    /// [`PerformanceProfile::estimated`] as low-confidence. Off by
+    /// default: with clean input the flag changes nothing, and silence is
+    /// the conservative reading of missing data.
+    pub estimate_missing: bool,
 }
 
 impl Default for ProfileConfig {
@@ -50,6 +59,7 @@ impl Default for ProfileConfig {
             slice: 10 * MILLIS,
             upsample: UpsampleMode::DemandGuided,
             parallelism: Parallelism::Auto,
+            estimate_missing: false,
         }
     }
 }
@@ -111,6 +121,12 @@ pub struct PerformanceProfile {
     /// resource, in unit-seconds (non-zero values indicate a mis-specified
     /// capacity).
     pub overflow: Vec<f64>,
+    /// `[resource][slice]` flags marking slices whose consumption is a
+    /// demand-derived *estimate* (no monitoring covered the slice) rather
+    /// than a measurement. Always all-false unless
+    /// [`ProfileConfig::estimate_missing`] is on. Treat flagged cells as
+    /// low-confidence.
+    pub estimated: Vec<Vec<bool>>,
     /// Per-(leaf instance, resource) usage and demand.
     pub usages: Vec<InstanceUsage>,
     index: HashMap<(InstanceId, ResourceIdx), usize>,
@@ -196,6 +212,20 @@ impl PerformanceProfile {
         }
     }
 
+    /// Number of `(resource, slice)` cells whose consumption is a
+    /// demand-derived estimate rather than a measurement.
+    pub fn estimated_slices(&self) -> usize {
+        self.estimated
+            .iter()
+            .map(|row| row.iter().filter(|&&e| e).count())
+            .sum()
+    }
+
+    /// Total number of `(resource, slice)` cells in the profile.
+    pub fn total_slices(&self) -> usize {
+        self.resources.len() * self.grid.num_slices()
+    }
+
     /// Utilization fraction (0..1) of a resource in a slice.
     pub fn utilization(&self, resource: ResourceIdx, slice: usize) -> f64 {
         let cap = self.resources[resource.0 as usize].capacity;
@@ -220,7 +250,7 @@ pub fn build_profile(
     let dm = estimate_demand(model, rules, trace, resources, &grid);
 
     // Upsampling is independent per resource instance; fan the rows out
-    // over a small crossbeam scope when there is enough work to amortize
+    // over a small thread scope when there is enough work to amortize
     // the thread spawns. Results are written into disjoint row slices, so
     // the parallel and sequential paths are bit-identical.
     let mut consumption = vec![vec![0.0; ns]; nr];
@@ -260,7 +290,7 @@ pub fn build_profile(
             .map(|n| n.get())
             .unwrap_or(4)
             .min(nr);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut rows: Vec<(usize, &mut Vec<f64>, &mut f64)> = consumption
                 .iter_mut()
                 .zip(overflow.iter_mut())
@@ -275,17 +305,57 @@ pub fn build_profile(
             }
             for batch in work {
                 let upsample_row = &upsample_row;
-                scope.spawn(move |_| {
+                // A worker panic propagates when the scope joins, exactly
+                // like the old crossbeam scope's `expect`.
+                scope.spawn(move || {
                     for (r, row, over) in batch {
                         *over = upsample_row(r, row);
                     }
                 });
             }
-        })
-        .expect("upsampling worker panicked");
+        });
     } else {
         for (r, (row, over)) in consumption.iter_mut().zip(overflow.iter_mut()).enumerate() {
             *over = upsample_row(r, row);
+        }
+    }
+
+    // Graceful degradation: slices no monitoring window covers read as
+    // zero consumption above, which attribution would interpret as "the
+    // resource sat idle". When enabled, fill those holes with a
+    // demand-derived estimate *before* attribution so per-slice
+    // conservation (attributed + unattributed = consumption) still holds
+    // for the estimated cells.
+    let mut estimated = vec![vec![false; ns]; nr];
+    if cfg.estimate_missing {
+        for r in 0..nr {
+            let cap = resources.instances()[r].capacity;
+            let mut covered = vec![false; ns];
+            for m in resources.measurements(ResourceIdx(r as u32)) {
+                let (a, b) = grid.slice_range(m.start, m.end);
+                for c in covered.iter_mut().take(b).skip(a) {
+                    *c = true;
+                }
+            }
+            // Calibrate how much consumption one unit of variable-demand
+            // weight produced on the slices that *were* measured.
+            let (mut num, mut den) = (0.0, 0.0);
+            for s in 0..ns {
+                if covered[s] && dm.variable[r][s] > 0.0 {
+                    num += (consumption[r][s] - dm.exact[r][s]).max(0.0);
+                    den += dm.variable[r][s];
+                }
+            }
+            let alpha = if den > 0.0 { num / den } else { 0.0 };
+            for s in 0..ns {
+                // Only slices where some phase demanded the resource are
+                // estimates; uncovered idle slices stay zero and unflagged.
+                if !covered[s] && (dm.exact[r][s] > 0.0 || dm.variable[r][s] > 0.0) {
+                    consumption[r][s] =
+                        (dm.exact[r][s] + alpha * dm.variable[r][s]).min(cap);
+                    estimated[r][s] = true;
+                }
+            }
         }
     }
 
@@ -313,6 +383,7 @@ pub fn build_profile(
         demand_variable: dm.variable,
         unattributed: att.unattributed,
         overflow,
+        estimated,
         usages,
         index,
     }
@@ -526,6 +597,91 @@ mod tests {
         // Constant mode: both slices of each window carry the average.
         assert_eq!(prof.consumption[r1][0], prof.consumption[r1][1]);
         assert_eq!(prof.consumption[r1][2], prof.consumption[r1][3]);
+    }
+
+    /// Figure 2 with the last R2 monitoring window lost (monitor crashed):
+    /// slices 4–5 of R2 are uncovered.
+    fn figure2_truncated_r2() -> (
+        ExecutionModel,
+        RuleSet,
+        ExecutionTrace,
+        ResourceTrace,
+    ) {
+        let (model, rules, trace, rt_full) = figure2();
+        let mut rt = ResourceTrace::new();
+        for (r, inst) in rt_full.instances().iter().enumerate() {
+            let idx = rt.add_resource(inst.clone());
+            let keep = if inst.kind == "R2" { 2 } else { 3 };
+            for m in rt_full.measurements(ResourceIdx(r as u32)).iter().take(keep) {
+                rt.add_measurement(idx, *m);
+            }
+        }
+        // R2 now ends at 40 ms; the grid still spans 60 ms via the trace.
+        assert_eq!(rt.measurements(rt.find("R2", Some(0)).unwrap()).len(), 2);
+        (model, rules, trace, rt)
+    }
+
+    #[test]
+    fn missing_monitoring_reads_idle_by_default() {
+        let (model, rules, trace, rt) = figure2_truncated_r2();
+        let prof = build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default());
+        let r2 = rt.find("R2", Some(0)).unwrap().0 as usize;
+        assert_eq!(prof.consumption[r2][4], 0.0);
+        assert_eq!(prof.estimated_slices(), 0);
+    }
+
+    #[test]
+    fn estimate_missing_fills_uncovered_demanded_slices() {
+        let (model, rules, trace, rt) = figure2_truncated_r2();
+        let cfg = ProfileConfig {
+            estimate_missing: true,
+            ..Default::default()
+        };
+        let prof = build_profile(&model, &rules, &trace, &rt, &cfg);
+        let r2 = rt.find("R2", Some(0)).unwrap().0 as usize;
+        // P3 (Exact 50 % of R2) runs through slice 4, so the estimate must
+        // recover at least its exact demand there, capped by capacity.
+        assert!(
+            prof.consumption[r2][4] >= 50.0 - 1e-9,
+            "estimated consumption {}",
+            prof.consumption[r2][4]
+        );
+        assert!(prof.consumption[r2][4] <= 100.0);
+        assert!(prof.estimated[r2][4]);
+        // Slice 5 has no phase demanding R2: stays zero and unflagged.
+        assert_eq!(prof.consumption[r2][5], 0.0);
+        assert!(!prof.estimated[r2][5]);
+        assert!(prof.estimated_slices() >= 1);
+        // Covered slices are untouched: the paper's golden numbers hold.
+        assert!((prof.consumption[r2][2] - 15.0).abs() < 1e-6);
+        assert!((prof.consumption[r2][3] - 65.0).abs() < 1e-6);
+        // Conservation still holds on the estimated slice.
+        let attributed: f64 = prof
+            .usages
+            .iter()
+            .filter(|u| u.resource.0 as usize == r2)
+            .map(|u| u.usage_at(4))
+            .sum();
+        let total = attributed + prof.unattributed[r2][4];
+        assert!((total - prof.consumption[r2][4]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn estimate_missing_is_identity_on_full_coverage() {
+        let (model, rules, trace, rt) = figure2();
+        let base = build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default());
+        let est = build_profile(
+            &model,
+            &rules,
+            &trace,
+            &rt,
+            &ProfileConfig {
+                estimate_missing: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(base.consumption, est.consumption);
+        assert_eq!(est.estimated_slices(), 0);
     }
 
     #[test]

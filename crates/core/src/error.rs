@@ -4,12 +4,16 @@
 //! balance, paths that do not resolve against the execution model,
 //! malformed serialized artifacts. [`Grade10Error`] classifies them so
 //! callers can distinguish "fix your log shipper" from "fix your model"
-//! without parsing message strings.
+//! without parsing message strings — and, since real telemetry pipelines
+//! damage data routinely, so callers can distinguish *recoverable* input
+//! blemishes (retry in [`IngestMode::Lenient`](crate::trace::IngestMode))
+//! from *fatal* modeling or environment problems.
 
 use std::fmt;
 
 /// Errors produced while ingesting Grade10's inputs.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Grade10Error {
     /// A log stream violated the event contract (unbalanced phases,
     /// duplicate starts, blocks without ends).
@@ -20,6 +24,9 @@ pub enum Grade10Error {
     /// A trace failed structural validation (negative durations, dangling
     /// references).
     InvalidTrace(String),
+    /// Monitoring data violated its contract (non-finite or negative
+    /// utilization samples, out-of-order windows, non-positive capacity).
+    InvalidMonitoring(String),
     /// A serialized artifact (model bundle, event file) failed to parse.
     Serialization(String),
 }
@@ -31,7 +38,21 @@ impl Grade10Error {
             Grade10Error::MalformedLog(s)
             | Grade10Error::ModelMismatch(s)
             | Grade10Error::InvalidTrace(s)
+            | Grade10Error::InvalidMonitoring(s)
             | Grade10Error::Serialization(s) => s,
+        }
+    }
+
+    /// True when re-ingesting the same inputs under
+    /// [`IngestMode::Lenient`](crate::trace::IngestMode) can repair the
+    /// problem: damaged log streams and monitoring data are recoverable;
+    /// a wrong execution model or an unparseable artifact is not.
+    pub fn is_recoverable(&self) -> bool {
+        match self {
+            Grade10Error::MalformedLog(_)
+            | Grade10Error::InvalidTrace(_)
+            | Grade10Error::InvalidMonitoring(_) => true,
+            Grade10Error::ModelMismatch(_) | Grade10Error::Serialization(_) => false,
         }
     }
 }
@@ -42,6 +63,7 @@ impl fmt::Display for Grade10Error {
             Grade10Error::MalformedLog(s) => write!(f, "malformed log: {s}"),
             Grade10Error::ModelMismatch(s) => write!(f, "model mismatch: {s}"),
             Grade10Error::InvalidTrace(s) => write!(f, "invalid trace: {s}"),
+            Grade10Error::InvalidMonitoring(s) => write!(f, "invalid monitoring: {s}"),
             Grade10Error::Serialization(s) => write!(f, "serialization: {s}"),
         }
     }
@@ -55,6 +77,12 @@ impl From<Grade10Error> for String {
     }
 }
 
+impl From<serde_json::Error> for Grade10Error {
+    fn from(e: serde_json::Error) -> Grade10Error {
+        Grade10Error::Serialization(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,11 +92,30 @@ mod tests {
         let e = Grade10Error::MalformedLog("phase x never ended".into());
         assert_eq!(e.to_string(), "malformed log: phase x never ended");
         assert_eq!(e.detail(), "phase x never ended");
+        let e = Grade10Error::InvalidMonitoring("negative sample".into());
+        assert_eq!(e.to_string(), "invalid monitoring: negative sample");
     }
 
     #[test]
     fn is_a_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&Grade10Error::InvalidTrace("x".into()));
+    }
+
+    #[test]
+    fn recoverability_classification() {
+        assert!(Grade10Error::MalformedLog("x".into()).is_recoverable());
+        assert!(Grade10Error::InvalidTrace("x".into()).is_recoverable());
+        assert!(Grade10Error::InvalidMonitoring("x".into()).is_recoverable());
+        assert!(!Grade10Error::ModelMismatch("x".into()).is_recoverable());
+        assert!(!Grade10Error::Serialization("x".into()).is_recoverable());
+    }
+
+    #[test]
+    fn serde_json_errors_convert() {
+        let err = serde_json::from_str::<u32>("not json").unwrap_err();
+        let e: Grade10Error = err.into();
+        assert!(matches!(e, Grade10Error::Serialization(_)));
+        assert!(!e.is_recoverable());
     }
 }

@@ -97,11 +97,13 @@ impl InferenceResult {
     pub fn to_rule_set(&self) -> RuleSet {
         let mut rules = RuleSet::new().with_default(AttributionRule::None);
         for d in &self.demands {
-            let fit = self
+            let Some(fit) = self
                 .fits
                 .iter()
                 .find(|f| f.resource_kind == d.resource_kind)
-                .expect("fit for kind");
+            else {
+                unreachable!("fits are built per resource kind from these demands");
+            };
             if d.fraction < self.config.min_fraction {
                 continue; // implicit None
             }
@@ -325,9 +327,11 @@ fn solve_gaussian(xtx: &[Vec<f64>], xty: &[f64], excluded: &[bool], n: usize) ->
         .collect();
     for col in 0..k {
         // Partial pivot.
-        let pivot = (col..k)
-            .max_by(|&x, &y| a[x][col].abs().total_cmp(&a[y][col].abs()))
-            .unwrap();
+        let Some(pivot) =
+            (col..k).max_by(|&x, &y| a[x][col].abs().total_cmp(&a[y][col].abs()))
+        else {
+            unreachable!("col < k, so the pivot range is never empty");
+        };
         a.swap(col, pivot);
         let p = a[col][col];
         if p.abs() < 1e-15 {

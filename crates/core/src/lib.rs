@@ -64,6 +64,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code must classify failures, not abort: unwrap/expect are only
+// acceptable where an invariant makes failure impossible (and then a
+// targeted allow with a reason documents why).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod attribution;
 pub mod bottleneck;
@@ -82,7 +86,7 @@ pub mod trace;
 
 pub use attribution::{build_profile, PerformanceProfile, ProfileConfig, UpsampleMode};
 pub use error::Grade10Error;
-pub use pipeline::{characterize, Characterization, CharacterizationConfig};
+pub use pipeline::{characterize, characterize_events, Characterization, CharacterizationConfig};
 pub use bottleneck::{BottleneckConfig, BottleneckReport};
 pub use issues::{IssueConfig, IssueKind, PerformanceIssue};
 pub use model::{AttributionRule, ExecutionModel, ExecutionModelBuilder, Repeat, RuleSet};

@@ -211,11 +211,9 @@ impl ExecutionModelBuilder {
     pub fn edge(&mut self, from: PhaseTypeId, to: PhaseTypeId) {
         let pf = self.nodes[from.0 as usize].parent;
         let pt = self.nodes[to.0 as usize].parent;
-        assert!(
-            pf.is_some() && pf == pt,
-            "precedence edges must connect siblings"
-        );
-        let parent = pf.unwrap();
+        let (Some(parent), true) = (pf, pf == pt) else {
+            panic!("precedence edges must connect siblings");
+        };
         self.nodes[parent.0 as usize].edges.push((from, to));
     }
 
@@ -229,7 +227,10 @@ impl ExecutionModelBuilder {
             let mut indeg: HashMap<PhaseTypeId, usize> =
                 node.children.iter().map(|&c| (c, 0)).collect();
             for &(_, to) in &node.edges {
-                *indeg.get_mut(&to).expect("edge endpoint not a child") += 1;
+                let Some(d) = indeg.get_mut(&to) else {
+                    panic!("edge endpoint {to:?} is not a child of its parent");
+                };
+                *d += 1;
             }
             let mut queue: Vec<PhaseTypeId> = indeg
                 .iter()
@@ -241,7 +242,9 @@ impl ExecutionModelBuilder {
                 seen += 1;
                 for &(f, t) in &node.edges {
                     if f == c {
-                        let d = indeg.get_mut(&t).unwrap();
+                        let Some(d) = indeg.get_mut(&t) else {
+                            unreachable!("every edge endpoint was seeded above");
+                        };
                         *d -= 1;
                         if *d == 0 {
                             queue.push(t);

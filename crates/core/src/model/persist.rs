@@ -33,7 +33,12 @@ pub struct ModelBundle {
 impl ModelBundle {
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("model bundles are always serializable")
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => json,
+            // Every field is plain data with a derived Serialize; there is
+            // no fallible state to hit.
+            Err(e) => unreachable!("model bundles always serialize: {e}"),
+        }
     }
 
     /// Deserializes from JSON.

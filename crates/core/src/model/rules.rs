@@ -53,25 +53,22 @@ pub struct RuleSet {
 
 mod rules_serde {
     use super::*;
-    use serde::{Deserializer, Serializer};
+    use serde::{DeError, Value};
 
-    pub fn serialize<S: Serializer>(
-        map: &HashMap<(PhaseTypeId, String), AttributionRule>,
-        s: S,
-    ) -> Result<S::Ok, S::Error> {
+    pub fn serialize(map: &HashMap<(PhaseTypeId, String), AttributionRule>) -> Value {
         let mut entries: Vec<(&PhaseTypeId, &String, &AttributionRule)> = map
             .iter()
             .map(|((ty, kind), rule)| (ty, kind, rule))
             .collect();
         entries.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
-        serde::Serialize::serialize(&entries, s)
+        serde::Serialize::to_value(&entries)
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        d: D,
-    ) -> Result<HashMap<(PhaseTypeId, String), AttributionRule>, D::Error> {
+    pub fn deserialize(
+        v: &Value,
+    ) -> Result<HashMap<(PhaseTypeId, String), AttributionRule>, DeError> {
         let entries: Vec<(PhaseTypeId, String, AttributionRule)> =
-            serde::Deserialize::deserialize(d)?;
+            serde::Deserialize::from_value(v)?;
         Ok(entries
             .into_iter()
             .map(|(ty, kind, rule)| ((ty, kind), rule))

@@ -21,27 +21,23 @@ use crate::trace::timeslice::Nanos;
 pub type RawPath = Vec<(String, u32)>;
 
 /// Log event kinds.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RawEventKind {
-    /// A phase began.
     /// A phase began.
     PhaseStart {
         /// Full instance path of the phase.
         path: RawPath,
     },
     /// A phase ended.
-    /// A phase ended.
     PhaseEnd {
         /// Full instance path of the phase.
         path: RawPath,
     },
     /// The thread blocked on a blocking resource.
-    /// The thread blocked on a blocking resource.
     BlockStart {
         /// Blocking resource name.
         resource: String,
     },
-    /// The thread resumed.
     /// The thread resumed.
     BlockEnd {
         /// Blocking resource name.
@@ -50,7 +46,7 @@ pub enum RawEventKind {
 }
 
 /// One timestamped log record.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RawEvent {
     /// Timestamp, nanoseconds since execution start.
     pub time: Nanos,

@@ -10,12 +10,15 @@
 
 use crate::attribution::{build_profile, PerformanceProfile, ProfileConfig};
 use crate::bottleneck::{BottleneckConfig, BottleneckReport};
+use crate::error::Grade10Error;
 use crate::issues::{
     detect_bottleneck_issues, detect_imbalance_issues, IssueConfig, IssueKind, PerformanceIssue,
 };
 use crate::model::{ExecutionModel, RuleSet};
+use crate::parse::RawEvent;
 use crate::replay::{replay_original, ReplayConfig};
 use crate::report::table::pct;
+use crate::trace::repair::{ingest, IngestConfig, IngestReport, IngestedInput, RawSeries};
 use crate::trace::{ExecutionTrace, ResourceTrace};
 
 /// Configuration for the full pipeline.
@@ -29,6 +32,9 @@ pub struct CharacterizationConfig {
     pub replay: ReplayConfig,
     /// Issue-detection thresholds.
     pub issues: IssueConfig,
+    /// Ingestion strictness used by [`characterize_events`] (ignored by
+    /// [`characterize`], which takes already-built traces).
+    pub ingest: IngestConfig,
 }
 
 /// Everything one characterization run produces.
@@ -42,6 +48,9 @@ pub struct Characterization {
     /// Detected issues, most impactful first (bottlenecks and imbalance
     /// interleaved by estimated reduction).
     pub issues: Vec<PerformanceIssue>,
+    /// What ingestion saw and repaired. Clean (all-zero) when the input was
+    /// well-formed or when [`characterize`] was called on pre-built traces.
+    pub ingest: IngestReport,
 }
 
 impl Characterization {
@@ -77,7 +86,7 @@ impl Characterization {
     }
 }
 
-/// Runs the full Grade10 pipeline.
+/// Runs the full Grade10 pipeline on already-built traces.
 pub fn characterize(
     model: &ExecutionModel,
     rules: &RuleSet,
@@ -85,7 +94,63 @@ pub fn characterize(
     resources: &ResourceTrace,
     cfg: &CharacterizationConfig,
 ) -> Characterization {
+    characterize_with_report(model, rules, trace, resources, cfg, IngestReport::default())
+}
+
+/// Runs the full Grade10 pipeline from raw collected data: an event stream
+/// and monitoring series, ingested under [`CharacterizationConfig::ingest`].
+///
+/// In strict mode any corruption is rejected with a classified
+/// [`Grade10Error`]; in lenient mode the streams are repaired first and the
+/// repairs are tallied in [`Characterization::ingest`].
+pub fn characterize_events(
+    model: &ExecutionModel,
+    rules: &RuleSet,
+    events: &[RawEvent],
+    monitoring: &[RawSeries],
+    cfg: &CharacterizationConfig,
+) -> Result<Characterization, Grade10Error> {
+    let input = ingest(model, events, monitoring, &cfg.ingest)?;
+    Ok(characterize_with_report(
+        model,
+        rules,
+        &input.trace,
+        &input.resources,
+        cfg,
+        input.report,
+    ))
+}
+
+/// Runs the pipeline on the output of a separate [`ingest`] call — for
+/// callers that need to keep the ingested traces (e.g. to render them)
+/// while still carrying the repair report into the result.
+pub fn characterize_ingested(
+    model: &ExecutionModel,
+    rules: &RuleSet,
+    input: &IngestedInput,
+    cfg: &CharacterizationConfig,
+) -> Characterization {
+    characterize_with_report(
+        model,
+        rules,
+        &input.trace,
+        &input.resources,
+        cfg,
+        input.report.clone(),
+    )
+}
+
+fn characterize_with_report(
+    model: &ExecutionModel,
+    rules: &RuleSet,
+    trace: &ExecutionTrace,
+    resources: &ResourceTrace,
+    cfg: &CharacterizationConfig,
+    mut report: IngestReport,
+) -> Characterization {
     let profile = build_profile(model, rules, trace, resources, &cfg.profile);
+    report.slices_estimated = profile.estimated_slices();
+    report.slices_total = profile.total_slices();
     let bottlenecks = BottleneckReport::build(trace, &profile, &cfg.bottleneck);
     let base = replay_original(model, trace, &cfg.replay);
     let mut issues = detect_bottleneck_issues(
@@ -103,6 +168,7 @@ pub fn characterize(
         bottlenecks,
         base_makespan: base.makespan,
         issues,
+        ingest: report,
     }
 }
 
@@ -180,6 +246,52 @@ mod tests {
         for w in c.issues.windows(2) {
             assert!(w[0].reduction >= w[1].reduction);
         }
+    }
+
+    #[test]
+    fn characterize_events_strict_vs_lenient() {
+        use crate::parse::RawEventKind;
+        use crate::trace::repair::IngestMode;
+
+        let b = ExecutionModelBuilder::new("job");
+        let _ = b.root();
+        let model = b.build();
+        let rules = RuleSet::new();
+        let path = vec![("job".to_string(), 0u32)];
+        // Start without end: a crashed worker truncated the stream.
+        let events = vec![RawEvent {
+            time: 0,
+            machine: 0,
+            thread: 0,
+            kind: RawEventKind::PhaseStart { path },
+        }];
+        let mut rt = ResourceTrace::new();
+        let cpu = rt.add_resource(ResourceInstance {
+            kind: "cpu".into(),
+            machine: Some(0),
+            capacity: 4.0,
+        });
+        rt.add_series(cpu, 0, 10 * MILLIS, &[1.0, 2.0]);
+        let monitoring = crate::trace::RawSeries::from_trace(&rt);
+
+        let strict = CharacterizationConfig::default();
+        match characterize_events(&model, &rules, &events, &monitoring, &strict) {
+            Err(err) => assert!(err.is_recoverable()),
+            Ok(_) => panic!("strict must reject the truncated stream"),
+        }
+
+        let lenient = CharacterizationConfig {
+            ingest: IngestConfig {
+                mode: IngestMode::Lenient,
+            },
+            ..Default::default()
+        };
+        let c = characterize_events(&model, &rules, &events, &monitoring, &lenient)
+            .expect("lenient must repair and complete");
+        assert_eq!(c.ingest.missing_ends_synthesized, 1);
+        assert!(!c.ingest.is_clean());
+        assert!(c.ingest.quality_score() < 1.0);
+        assert!(c.ingest.slices_total > 0);
     }
 
     #[test]

@@ -180,7 +180,10 @@ pub fn replay(
             // Leaf finished: release its slot and start a waiting task.
             let key = (inst.machine, inst.type_id);
             if cfg.enforce_concurrency && slots.contains_key(&key) {
-                *free.get_mut(&key).unwrap() += 1;
+                let Some(f) = free.get_mut(&key) else {
+                    unreachable!("free has an entry for every slots key");
+                };
+                *f += 1;
                 try_start(&mut pending, &mut free, &mut heap, key, t);
             }
         }
@@ -229,7 +232,9 @@ fn try_start(
         Some(q) => q,
         None => return,
     };
-    let f = free.get_mut(&key).unwrap();
+    let Some(f) = free.get_mut(&key) else {
+        unreachable!("free has an entry for every pending key");
+    };
     while *f > 0 {
         match q.pop() {
             Some(Reverse((_prio, id, dur))) => {

@@ -7,6 +7,7 @@ use crate::attribution::PerformanceProfile;
 use crate::model::execution::{ExecutionModel, PhaseTypeId};
 use crate::report::table::{eng, Table};
 use crate::trace::execution::ExecutionTrace;
+use crate::trace::repair::IngestReport;
 
 /// Total attributed consumption (unit-seconds) per (leaf phase type,
 /// resource kind), summed over instances and machines.
@@ -80,6 +81,42 @@ pub fn machine_table(profile: &PerformanceProfile) -> Table {
             eng(total),
             format!("{:.1}%", 100.0 * mean),
             format!("{:.1}%", 100.0 * peak),
+        ]);
+    }
+    table
+}
+
+/// Data-quality view of a degraded ingestion: one row per repair kind that
+/// actually fired, plus the overall quality score and, when attribution
+/// estimated unmonitored timeslices, the estimated share of the grid.
+/// Empty (headers only) for a clean report — callers typically guard with
+/// [`IngestReport::is_clean`].
+pub fn ingest_table(report: &IngestReport) -> Table {
+    let mut table = Table::new(&["input damage repaired", "count"]);
+    for line in report.summary_lines() {
+        // summary_lines renders "{count} {description}"; split back apart
+        // so the table aligns counts in their own column.
+        let (count, what) = line.split_once(' ').unwrap_or(("?", line.as_str()));
+        table.row(&[what.to_string(), count.to_string()]);
+    }
+    let score = report.quality_score();
+    table.row(&[
+        "quality score (1.00 = clean)".to_string(),
+        // Light damage rounds to 1.00; never display a repaired input as
+        // indistinguishable from a clean one.
+        if score > 0.995 && !report.is_clean() {
+            "<1.00".to_string()
+        } else {
+            format!("{score:.2}")
+        },
+    ]);
+    if report.slices_estimated > 0 && report.slices_total > 0 {
+        table.row(&[
+            "share of timeslices estimated".to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * report.slices_estimated as f64 / report.slices_total as f64
+            ),
         ]);
     }
     table
@@ -185,6 +222,26 @@ mod tests {
         // 2 of 4 cores for the whole run: 50% mean and peak.
         assert!(out.contains("50.0%"), "{out}");
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ingest_table_rows_per_repair_kind() {
+        let report = IngestReport {
+            events_total: 100,
+            duplicates_dropped: 3,
+            missing_ends_synthesized: 1,
+            slices_estimated: 10,
+            slices_total: 40,
+            ..Default::default()
+        };
+        let t = ingest_table(&report);
+        let out = t.render();
+        assert!(out.contains("duplicate records dropped"), "{out}");
+        assert!(out.contains("missing end events synthesized"), "{out}");
+        assert!(out.contains("quality score"), "{out}");
+        assert!(out.contains("25.0%"), "{out}");
+        // 3 repair rows + quality + estimated share.
+        assert_eq!(t.len(), 5, "{out}");
     }
 
     #[test]

@@ -270,7 +270,9 @@ impl<'m> TraceBuilder<'m> {
             })?)
         };
         let id = InstanceId(self.instances.len() as u32);
-        let key = path.last().unwrap().1;
+        let Some(&(_, key)) = path.last() else {
+            unreachable!("path emptiness was rejected at the top of add_phase");
+        };
         self.instances.push(PhaseInstance {
             id,
             type_id,

@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::Grade10Error;
 use crate::trace::timeslice::Nanos;
 
 /// Index of a resource instance within a [`ResourceTrace`].
@@ -62,6 +63,9 @@ impl ResourceTrace {
     }
 
     /// Registers a resource instance.
+    ///
+    /// Panics on a non-positive capacity; use
+    /// [`try_add_resource`](Self::try_add_resource) for untrusted input.
     pub fn add_resource(&mut self, instance: ResourceInstance) -> ResourceIdx {
         assert!(instance.capacity > 0.0, "capacity must be positive");
         self.instances.push(instance);
@@ -69,8 +73,28 @@ impl ResourceTrace {
         ResourceIdx(self.instances.len() as u32 - 1)
     }
 
+    /// Fallible [`add_resource`](Self::add_resource): rejects non-finite or
+    /// non-positive capacities with a classified error instead of panicking.
+    pub fn try_add_resource(
+        &mut self,
+        instance: ResourceInstance,
+    ) -> Result<ResourceIdx, Grade10Error> {
+        if !(instance.capacity.is_finite() && instance.capacity > 0.0) {
+            return Err(Grade10Error::InvalidMonitoring(format!(
+                "resource '{}' has invalid capacity {}",
+                instance.label(),
+                instance.capacity
+            )));
+        }
+        Ok(self.add_resource(instance))
+    }
+
     /// Appends one measurement. Measurements must be added in time order
     /// and must not overlap.
+    ///
+    /// Panics on contract violations; use
+    /// [`try_add_measurement`](Self::try_add_measurement) for untrusted
+    /// input.
     pub fn add_measurement(&mut self, r: ResourceIdx, m: Measurement) {
         assert!(m.end > m.start, "empty measurement window");
         assert!(m.avg >= 0.0, "negative usage");
@@ -84,6 +108,52 @@ impl ResourceTrace {
             );
         }
         list.push(m);
+    }
+
+    /// Fallible [`add_measurement`](Self::add_measurement): rejects empty
+    /// windows, non-finite or negative usage, and out-of-order windows with
+    /// a classified [`Grade10Error`] instead of panicking — the entry point
+    /// strict-mode ingestion uses on monitoring data from the outside world.
+    pub fn try_add_measurement(
+        &mut self,
+        r: ResourceIdx,
+        m: Measurement,
+    ) -> Result<(), Grade10Error> {
+        let label = |rt: &Self| rt.instances[r.0 as usize].label();
+        if m.end <= m.start {
+            return Err(Grade10Error::InvalidMonitoring(format!(
+                "empty measurement window [{}, {}) on '{}'",
+                m.start,
+                m.end,
+                label(self)
+            )));
+        }
+        if !m.avg.is_finite() {
+            return Err(Grade10Error::InvalidMonitoring(format!(
+                "non-finite sample {} on '{}'",
+                m.avg,
+                label(self)
+            )));
+        }
+        if m.avg < 0.0 {
+            return Err(Grade10Error::InvalidMonitoring(format!(
+                "negative sample {} on '{}'",
+                m.avg,
+                label(self)
+            )));
+        }
+        if let Some(last) = self.measurements[r.0 as usize].last() {
+            if m.start < last.end {
+                return Err(Grade10Error::InvalidMonitoring(format!(
+                    "measurements out of order on '{}': {} < {}",
+                    label(self),
+                    m.start,
+                    last.end
+                )));
+            }
+        }
+        self.measurements[r.0 as usize].push(m);
+        Ok(())
     }
 
     /// Appends a uniform series of measurements starting at `start`, one per

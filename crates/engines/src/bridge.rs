@@ -3,7 +3,7 @@
 
 use grade10_cluster::{LogEvent, LogRecord, ResourceSeries};
 use grade10_core::parse::{RawEvent, RawEventKind, RawPath};
-use grade10_core::trace::{ResourceInstance, ResourceTrace};
+use grade10_core::trace::{Measurement, RawSeries, ResourceInstance, ResourceTrace};
 
 /// Converts simulator log records into Grade10 raw events.
 pub fn to_raw_events(logs: &[LogRecord]) -> Vec<RawEvent> {
@@ -60,6 +60,39 @@ pub fn to_resource_trace(series: &[ResourceSeries], downsample: usize) -> Resour
         );
     }
     rt
+}
+
+/// Converts monitor series into *unvalidated* raw series for the ingestion
+/// layer. Unlike [`to_resource_trace`] this performs no validation and
+/// preserves whatever the (possibly fault-injected) monitoring stream
+/// contains — NaN samples, negative readings, truncated series — exactly as
+/// a parser of real monitoring dumps would. Coarse windows that average over
+/// a NaN sample become NaN themselves (a missed window).
+pub fn to_raw_series(series: &[ResourceSeries], downsample: usize) -> Vec<RawSeries> {
+    series
+        .iter()
+        .map(|s| {
+            let coarse = s.downsample(downsample);
+            let step = coarse.interval.as_nanos();
+            RawSeries {
+                instance: ResourceInstance {
+                    kind: coarse.spec.kind.name().to_string(),
+                    machine: Some(coarse.spec.machine),
+                    capacity: coarse.spec.capacity,
+                },
+                measurements: coarse
+                    .samples
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &avg)| Measurement {
+                        start: step * i as u64,
+                        end: step * (i as u64 + 1),
+                        avg,
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -119,5 +152,28 @@ mod tests {
         assert_eq!(ms[1].avg, 7.0);
         assert_eq!(ms[0].end - ms[0].start, 100_000_000);
         assert_eq!(rt.instance(cpu).capacity, 8.0);
+    }
+
+    #[test]
+    fn raw_series_preserves_corruption() {
+        let series = vec![ResourceSeries {
+            spec: ResourceSpec {
+                kind: ResourceKind::Cpu,
+                machine: 1,
+                capacity: 8.0,
+            },
+            interval: SimDuration::from_millis(50),
+            samples: vec![2.0, f64::NAN, -3.0, 8.0],
+        }];
+        let raw = to_raw_series(&series, 1);
+        assert_eq!(raw.len(), 1);
+        assert_eq!(raw[0].instance.kind, "cpu");
+        assert_eq!(raw[0].measurements.len(), 4);
+        assert!(raw[0].measurements[1].avg.is_nan());
+        assert_eq!(raw[0].measurements[2].avg, -3.0);
+        // Downsampling over a NaN poisons the coarse window.
+        let coarse = to_raw_series(&series, 2);
+        assert!(coarse[0].measurements[0].avg.is_nan());
+        assert_eq!(coarse[0].measurements[1].avg, 2.5);
     }
 }

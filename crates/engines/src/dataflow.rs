@@ -221,9 +221,11 @@ pub fn run_dataflow(job: &JobSpec, cfg: &DataflowConfig) -> SimOutput {
         let mut per_slot: Vec<Vec<(u32, f64)>> = vec![Vec::new(); slots];
         let mut loads = vec![0.0f64; slots];
         for (key, w) in tasks {
-            let slot = (0..slots)
-                .min_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)))
-                .unwrap();
+            let Some(slot) =
+                (0..slots).min_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)))
+            else {
+                unreachable!("slots >= 1, so the range is never empty");
+            };
             per_slot[slot].push((key, w));
             loads[slot] += w;
         }

@@ -29,6 +29,10 @@
 //! engines into one-call experiment runs.
 
 #![warn(missing_docs)]
+// Library code must classify failures, not abort: unwrap/expect are only
+// acceptable where an invariant makes failure impossible (and then a
+// targeted allow with a reason documents why).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bridge;
 pub mod dataflow;

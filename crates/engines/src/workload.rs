@@ -260,7 +260,7 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadRun {
             let (model, phases) = pregel_model();
             let rules_tuned = pregel_rules_tuned(&phases, cfg.cores);
             let trace = build_execution_trace(&model, &to_raw_events(&sim.logs))
-                .expect("engine logs must parse");
+                .unwrap_or_else(|e| panic!("simulator-emitted logs always parse: {e}"));
             WorkloadRun {
                 spec: spec.clone(),
                 model,
@@ -280,7 +280,7 @@ pub fn run_workload(spec: &WorkloadSpec) -> WorkloadRun {
             let (model, phases) = gas_model();
             let rules_tuned = gas_rules_tuned(&phases, cfg.cores);
             let trace = build_execution_trace(&model, &to_raw_events(&run.sim.logs))
-                .expect("engine logs must parse");
+                .unwrap_or_else(|e| panic!("simulator-emitted logs always parse: {e}"));
             WorkloadRun {
                 spec: spec.clone(),
                 model,

@@ -116,10 +116,9 @@ impl CsrGraph {
     /// In-degree of `v`. Panics unless the transpose was built.
     #[inline]
     pub fn in_degree(&self, v: VertexId) -> u64 {
-        let off = self
-            .in_offsets
-            .as_ref()
-            .expect("in_degree requires build_transpose()");
+        let Some(off) = self.in_offsets.as_ref() else {
+            panic!("in_degree requires build_transpose()");
+        };
         off[v as usize + 1] - off[v as usize]
     }
 
@@ -133,11 +132,12 @@ impl CsrGraph {
     /// In-neighbors of `v`. Panics unless the transpose was built.
     #[inline]
     pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
-        let off = self
-            .in_offsets
-            .as_ref()
-            .expect("in_neighbors requires build_transpose()");
-        let src = self.in_sources.as_ref().unwrap();
+        let Some(off) = self.in_offsets.as_ref() else {
+            panic!("in_neighbors requires build_transpose()");
+        };
+        let Some(src) = self.in_sources.as_ref() else {
+            unreachable!("in_sources is set whenever in_offsets is");
+        };
         let (lo, hi) = (off[v as usize], off[v as usize + 1]);
         &src[lo as usize..hi as usize]
     }

@@ -21,6 +21,10 @@
 //! (synthetic) graphs; only the *cluster* they notionally run on is simulated.
 
 #![warn(missing_docs)]
+// Library code must classify failures, not abort: unwrap/expect are only
+// acceptable where an invariant makes failure impossible (and then a
+// targeted allow with a reason documents why).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod algorithms;
 pub mod csr;

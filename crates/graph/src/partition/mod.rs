@@ -39,7 +39,10 @@ pub fn balance(loads: &[u64]) -> f64 {
     if loads.is_empty() {
         return 1.0;
     }
-    let max = *loads.iter().max().unwrap() as f64;
+    let Some(&max) = loads.iter().max() else {
+        unreachable!("emptiness was handled above");
+    };
+    let max = max as f64;
     let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
     if mean == 0.0 {
         1.0

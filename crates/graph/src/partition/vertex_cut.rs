@@ -46,8 +46,11 @@ impl VertexCutPartition {
             for &v in graph.neighbors(u) {
                 let su = replica_sets[u as usize];
                 let sv = replica_sets[v as usize];
-                let min_load = *loads.iter().min().unwrap();
-                let max_load = *loads.iter().max().unwrap();
+                let (Some(&min_load), Some(&max_load)) =
+                    (loads.iter().min(), loads.iter().max())
+                else {
+                    unreachable!("one load entry exists per partition, and num_parts >= 1");
+                };
                 let spread = (max_load - min_load) as f64 + 1.0;
                 let mut best = 0 as PartId;
                 let mut best_score = f64::NEG_INFINITY;

@@ -16,6 +16,10 @@
 //! with `quickstart.rs`.
 
 #![warn(missing_docs)]
+// Library code must classify failures, not abort: unwrap/expect are only
+// acceptable where an invariant makes failure impossible (and then a
+// targeted allow with a reason documents why).
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub use grade10_cluster as cluster;
 pub use grade10_core as core;
@@ -34,10 +38,11 @@ pub mod prelude {
         AttributionRule, ExecutionModel, ExecutionModelBuilder, ModelBundle, Repeat,
         ResourceModel, RuleSet,
     };
-    pub use grade10_core::pipeline::{characterize, CharacterizationConfig};
+    pub use grade10_core::pipeline::{characterize, characterize_events, CharacterizationConfig};
     pub use grade10_core::replay::{replay, replay_original, ReplayConfig};
     pub use grade10_core::trace::{
-        ExecutionTrace, ResourceInstance, ResourceTrace, TraceBuilder, MILLIS,
+        ExecutionTrace, IngestConfig, IngestMode, IngestReport, RawSeries, ResourceInstance,
+        ResourceTrace, TraceBuilder, MILLIS,
     };
     pub use grade10_core::Grade10Error;
     pub use grade10_engines::{

@@ -5,9 +5,13 @@
 //!              [--algorithm pr|bfs|wcc|cdlp|sssp|lcc]
 //!              [--dataset rmat:SCALE|social:VERTICES] [--seed N] [--gantt]
 //!              [--work-profile] [--export-logs DIR] [--html FILE]
+//!              [--inject CLASS[,CLASS...]] [--fault-seed N] [--lenient]
 //!     Run a simulated workload end to end and print the characterization;
 //!     optionally ship the run's logs and monitoring as files that
-//!     `grade10 analyze` (and any other tooling) can consume.
+//!     `grade10 analyze` (and any other tooling) can consume. `--inject`
+//!     corrupts the collected streams with seeded faults (clock-skew,
+//!     reorder, drop, duplicate, truncate, monitoring, or `all`);
+//!     `--lenient` repairs the damage instead of rejecting it.
 //!
 //! grade10 export-model --engine giraph|powergraph [-o FILE]
 //!     Write the built-in expert input (execution model, resource model,
@@ -15,7 +19,11 @@
 //!
 //! grade10 analyze --model BUNDLE.json --events EVENTS.jsonl
 //!                 --resources RESOURCES.json [--slice-ms N] [--gantt]
+//!                 [--lenient]
 //!     Offline analysis: characterize logs shipped from a monitored run.
+//!     With `--lenient`, degraded logs (out-of-order, truncated, gappy
+//!     monitoring) are repaired and the repairs reported instead of
+//!     aborting the analysis.
 //! ```
 
 use std::collections::HashMap;
@@ -23,12 +31,15 @@ use std::fs::File;
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
 
+use grade10::cluster::{FaultClass, FaultPlan};
 use grade10::core::critical_path::critical_path;
 use grade10::core::model::ModelBundle;
 use grade10::core::parse::{build_execution_trace, read_events_json};
-use grade10::core::pipeline::{characterize, CharacterizationConfig};
-use grade10::core::report::{machine_table, render_gantt, render_html_report, usage_table, GanttConfig, HtmlConfig};
-use grade10::core::trace::{ExecutionTrace, ResourceTrace, MILLIS};
+use grade10::core::pipeline::{characterize, characterize_ingested, CharacterizationConfig};
+use grade10::core::report::{ingest_table, machine_table, render_gantt, render_html_report, usage_table, GanttConfig, HtmlConfig};
+use grade10::core::trace::{
+    ingest, ExecutionTrace, IngestConfig, IngestMode, RawSeries, ResourceTrace, MILLIS,
+};
 use grade10::engines::gas::GasConfig;
 use grade10::engines::models::{
     gas_model, gas_resource_model, gas_rules_tuned, pregel_model, pregel_resource_model,
@@ -55,9 +66,12 @@ const USAGE: &str = "usage:
                [--algorithm pr|bfs|wcc|cdlp|sssp|lcc]
                [--dataset rmat:SCALE|social:VERTICES] [--seed N] [--gantt]
                [--work-profile] [--export-logs DIR] [--html FILE]
+               [--inject clock-skew|reorder|drop|duplicate|truncate|monitoring|all[,..]]
+               [--fault-seed N] [--lenient]
   grade10 export-model --engine giraph|powergraph [-o FILE]
   grade10 analyze --model BUNDLE.json --events EVENTS.jsonl
-                  --resources RESOURCES.json [--slice-ms N] [--gantt]";
+                  --resources RESOURCES.json [--slice-ms N] [--gantt]
+                  [--lenient]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let (cmd, rest) = args.split_first().ok_or("no command given")?;
@@ -72,7 +86,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
 /// Parses `--key value` pairs plus bare `--switch` flags.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
-    const SWITCHES: &[&str] = &["--gantt", "--work-profile"];
+    const SWITCHES: &[&str] = &["--gantt", "--work-profile", "--lenient"];
     let mut out = HashMap::new();
     let mut i = 0;
     while i < args.len() {
@@ -129,6 +143,9 @@ fn demo(flags: &HashMap<String, String>) -> Result<(), String> {
         algorithm,
         engine,
     };
+    // Parse the fault plan before the (expensive) simulation so a typo'd
+    // --inject fails fast.
+    let fault_plan = parse_fault_plan(flags)?;
     eprintln!("running {} ...", spec.name());
     let run = run_workload(&spec);
     if flags.contains_key("--work-profile") {
@@ -158,6 +175,31 @@ fn demo(flags: &HashMap<String, String>) -> Result<(), String> {
         export_logs(&run, dir)?;
     }
 
+    if let Some(plan) = fault_plan {
+        // Degraded-collection path: corrupt the streams leaving the
+        // simulator, then re-enter through the ingestion layer like any
+        // external data would.
+        let classes: Vec<&str> = plan.enabled().iter().map(|c| c.name()).collect();
+        eprintln!(
+            "injecting faults [{}] with seed {}",
+            classes.join(", "),
+            plan.seed
+        );
+        let logs = plan.inject_logs(&run.sim.logs);
+        let series = plan.inject_series(&run.sim.series);
+        let events = grade10::engines::bridge::to_raw_events(&logs);
+        let monitoring = grade10::engines::bridge::to_raw_series(&series, 8);
+        let cfg = characterization_config(flags, 10);
+        let input = ingest(&run.model, &events, &monitoring, &cfg.ingest)
+            .map_err(|e| ingest_error(&e))?;
+        let result = characterize_ingested(&run.model, &run.rules_tuned, &input, &cfg);
+        print_characterization(&run.model, &input.trace, &result, flags.contains_key("--gantt"));
+        if let Some(path) = flags.get("--html") {
+            write_html(&run.model, &input.trace, &result, &spec.name(), path)?;
+        }
+        return Ok(());
+    }
+
     let resources = run.resource_trace(8);
     let result = characterize(
         &run.model,
@@ -171,6 +213,60 @@ fn demo(flags: &HashMap<String, String>) -> Result<(), String> {
         write_html(&run.model, &run.trace, &result, &spec.name(), path)?;
     }
     Ok(())
+}
+
+/// Builds the pipeline config from the shared CLI flags: `--lenient` picks
+/// the ingestion mode and, with it, demand-based estimation of slices whose
+/// monitoring was lost.
+fn characterization_config(flags: &HashMap<String, String>, slice_ms: u64) -> CharacterizationConfig {
+    let lenient = flags.contains_key("--lenient");
+    CharacterizationConfig {
+        profile: grade10::core::attribution::ProfileConfig {
+            slice: slice_ms * MILLIS,
+            estimate_missing: lenient,
+            ..Default::default()
+        },
+        ingest: IngestConfig {
+            mode: if lenient {
+                IngestMode::Lenient
+            } else {
+                IngestMode::Strict
+            },
+        },
+        ..Default::default()
+    }
+}
+
+/// Renders a strict-mode ingestion failure with a pointer to `--lenient`
+/// when the error class is recoverable.
+fn ingest_error(e: &grade10::core::Grade10Error) -> String {
+    if e.is_recoverable() {
+        format!("{e}\n(the input looks damaged, not malformed: retry with --lenient to repair it)")
+    } else {
+        e.to_string()
+    }
+}
+
+/// Parses `--inject CLASS[,CLASS...]` (+ `--fault-seed`) into a plan.
+fn parse_fault_plan(flags: &HashMap<String, String>) -> Result<Option<FaultPlan>, String> {
+    let Some(spec) = flags.get("--inject") else {
+        return Ok(None);
+    };
+    let seed: u64 = flags
+        .get("--fault-seed")
+        .map(|s| s.parse().map_err(|_| format!("bad fault seed '{s}'")))
+        .transpose()?
+        .unwrap_or(1);
+    if spec == "all" {
+        return Ok(Some(FaultPlan::all(seed)));
+    }
+    let mut plan = FaultPlan::clean(seed);
+    for name in spec.split(',') {
+        let class = FaultClass::from_name(name.trim())
+            .ok_or_else(|| format!("unknown fault class '{name}'"))?;
+        plan.enable(class);
+    }
+    Ok(Some(plan))
 }
 
 /// Writes the characterization as a standalone HTML report.
@@ -323,28 +419,27 @@ fn analyze(flags: &HashMap<String, String>) -> Result<(), String> {
     let bundle = ModelBundle::load(open(bundle_path)?).map_err(|e| e.to_string())?;
     let events = read_events_json(BufReader::new(open(events_path)?))
         .map_err(|e| format!("{events_path}: {e}"))?;
-    let trace = build_execution_trace(&bundle.execution, &events)?;
     let resources: ResourceTrace = serde_json::from_reader(BufReader::new(open(resources_path)?))
         .map_err(|e| format!("{resources_path}: {e}"))?;
 
-    let cfg = CharacterizationConfig {
-        profile: grade10::core::attribution::ProfileConfig {
-            slice: slice_ms * MILLIS,
-            upsample: grade10::core::attribution::UpsampleMode::DemandGuided,
-            ..Default::default()
-        },
-        ..Default::default()
-    };
-    let result = characterize(&bundle.execution, &bundle.rules, &trace, &resources, &cfg);
+    // Deserialization does not validate the monitoring payload (NaN or
+    // negative samples pass straight through serde), so both streams enter
+    // through the ingestion layer: strict mode rejects damage with a
+    // classified error, `--lenient` repairs it and reports the repairs.
+    let monitoring = RawSeries::from_trace(&resources);
+    let cfg = characterization_config(flags, slice_ms);
+    let input = ingest(&bundle.execution, &events, &monitoring, &cfg.ingest)
+        .map_err(|e| ingest_error(&e))?;
+    let result = characterize_ingested(&bundle.execution, &bundle.rules, &input, &cfg);
     eprintln!(
         "analyzed {} ({} phase instances, {} events)",
         bundle.framework,
-        trace.instances().len(),
+        input.trace.instances().len(),
         events.len()
     );
     print_characterization(
         &bundle.execution,
-        &trace,
+        &input.trace,
         &result,
         flags.contains_key("--gantt"),
     );
@@ -361,6 +456,11 @@ fn print_characterization(
     result: &grade10::core::pipeline::Characterization,
     gantt: bool,
 ) {
+    if !result.ingest.is_clean() {
+        println!("ingestion repaired a degraded input:");
+        print!("{}", ingest_table(&result.ingest).render());
+        println!();
+    }
     println!(
         "baseline makespan (replayed): {:.2}s",
         result.base_makespan as f64 / 1e9

@@ -1,0 +1,162 @@
+//! End-to-end fault tolerance: every fault class the injection harness can
+//! produce must be rejected by strict ingestion with a classified,
+//! recoverable error — and repaired by lenient ingestion into a complete
+//! characterization whose report accounts for the damage. No panics, ever.
+
+use grade10::cluster::{FaultClass, FaultPlan};
+use grade10::core::pipeline::{characterize_events, CharacterizationConfig};
+use grade10::core::trace::{IngestConfig, MILLIS};
+use grade10::engines::bridge::{to_raw_events, to_raw_series};
+use grade10::engines::pregel::PregelConfig;
+use grade10::engines::{run_workload, Algorithm, Dataset, EngineKind, WorkloadRun, WorkloadSpec};
+
+fn tiny_run() -> WorkloadRun {
+    run_workload(&WorkloadSpec {
+        dataset: Dataset::Rmat { scale: 8, seed: 3 },
+        algorithm: Algorithm::PageRank { iterations: 2 },
+        engine: EngineKind::Giraph(PregelConfig {
+            machines: 2,
+            threads: 2,
+            cores: 2.0,
+            ..Default::default()
+        }),
+    })
+}
+
+fn config(lenient: bool) -> CharacterizationConfig {
+    let mut cfg = CharacterizationConfig::default();
+    cfg.profile.slice = 10 * MILLIS;
+    cfg.profile.estimate_missing = lenient;
+    if lenient {
+        cfg.ingest = IngestConfig::lenient();
+    }
+    cfg
+}
+
+/// The acceptance criterion of the fault harness, class by class: strict
+/// mode rejects the corrupted stream with a recoverable error, lenient mode
+/// completes and counts the corruption in its report.
+#[test]
+fn every_fault_class_strict_rejects_and_lenient_repairs() {
+    let run = tiny_run();
+    for class in FaultClass::ALL {
+        let plan = FaultPlan::single(class, 7);
+        let events = to_raw_events(&plan.inject_logs(&run.sim.logs));
+        let monitoring = to_raw_series(&plan.inject_series(&run.sim.series), 8);
+
+        match characterize_events(
+            &run.model,
+            &run.rules_tuned,
+            &events,
+            &monitoring,
+            &config(false),
+        ) {
+            Ok(_) => panic!("strict mode accepted a stream corrupted by {}", class.name()),
+            Err(err) => assert!(
+                err.is_recoverable(),
+                "{} should be classified as damage, got: {err}",
+                class.name()
+            ),
+        }
+
+        let result = characterize_events(
+            &run.model,
+            &run.rules_tuned,
+            &events,
+            &monitoring,
+            &config(true),
+        )
+        .unwrap_or_else(|e| panic!("lenient mode failed on {}: {e}", class.name()));
+        assert!(
+            !result.ingest.is_clean(),
+            "lenient report for {} recorded no repairs",
+            class.name()
+        );
+        let quality = result.ingest.quality_score();
+        assert!(
+            (0.0..1.0).contains(&quality),
+            "{}: quality score {quality} not in [0, 1)",
+            class.name()
+        );
+    }
+}
+
+/// A clean stream must pass strict ingestion untouched, and lenient mode
+/// must agree that nothing needed repair.
+#[test]
+fn clean_stream_is_clean_in_both_modes() {
+    let run = tiny_run();
+    let events = to_raw_events(&run.sim.logs);
+    let monitoring = to_raw_series(&run.sim.series, 8);
+
+    let strict = characterize_events(
+        &run.model,
+        &run.rules_tuned,
+        &events,
+        &monitoring,
+        &config(false),
+    )
+    .expect("strict mode must accept the simulator's own output");
+    assert!(strict.ingest.is_clean());
+
+    let lenient = characterize_events(
+        &run.model,
+        &run.rules_tuned,
+        &events,
+        &monitoring,
+        &config(true),
+    )
+    .expect("lenient mode must accept a clean stream");
+    assert!(lenient.ingest.is_clean());
+    assert_eq!(lenient.ingest.quality_score(), 1.0);
+}
+
+/// Seeded sweep with every fault enabled at once: lenient characterization
+/// must complete for each seed — the whole point of the harness is that no
+/// combination of injected damage panics the pipeline.
+#[test]
+fn all_faults_at_once_never_panic_lenient() {
+    let run = tiny_run();
+    for seed in 1..=5u64 {
+        let plan = FaultPlan::all(seed);
+        let events = to_raw_events(&plan.inject_logs(&run.sim.logs));
+        let monitoring = to_raw_series(&plan.inject_series(&run.sim.series), 8);
+        let result = characterize_events(
+            &run.model,
+            &run.rules_tuned,
+            &events,
+            &monitoring,
+            &config(true),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: lenient characterization failed: {e}"));
+        assert!(
+            !result.ingest.is_clean(),
+            "seed {seed}: every fault enabled but the report is clean"
+        );
+        assert!(result.ingest.quality_score() < 1.0, "seed {seed}");
+    }
+}
+
+/// Identical plans over identical inputs must yield identical reports —
+/// fault injection and repair are both deterministic.
+#[test]
+fn injection_and_repair_are_deterministic() {
+    let run = tiny_run();
+    let reports: Vec<String> = (0..2)
+        .map(|_| {
+            let plan = FaultPlan::all(42);
+            let events = to_raw_events(&plan.inject_logs(&run.sim.logs));
+            let monitoring = to_raw_series(&plan.inject_series(&run.sim.series), 8);
+            let result = characterize_events(
+                &run.model,
+                &run.rules_tuned,
+                &events,
+                &monitoring,
+                &config(true),
+            )
+            .expect("lenient characterization");
+            format!("{:?}", result.ingest)
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1]);
+}

@@ -4,106 +4,119 @@
 //! refactoring must preserve: allocation never exceeds capacity, upsampling
 //! conserves measured totals, attribution conserves consumption, replay is
 //! monotone, partitions cover their graphs exactly.
+//!
+//! Cases are generated from seeded ChaCha8 streams (one seed per case, so a
+//! failure report's seed reproduces the exact input) rather than a shrinking
+//! framework; the invariants themselves are unchanged from the original
+//! proptest suite.
 
-use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use grade10::cluster::alloc::{fair_share_single, max_min_fair, Consumer};
+use grade10::core::attribution::upsample::{upsample_measurement, waterfill};
 use grade10::core::attribution::{build_profile, ProfileConfig};
 use grade10::core::critical_path::critical_path;
 use grade10::core::model::{AttributionRule, ExecutionModelBuilder, Repeat, RuleSet};
-use grade10::core::report::{render_gantt, GanttConfig};
-use grade10::core::trace::{ExecutionTrace, ResourceInstance, ResourceTrace, TraceBuilder};
-use grade10::core::ExecutionModel;
-use grade10::core::attribution::upsample::{upsample_measurement, waterfill};
 use grade10::core::replay::{replay, ReplayConfig};
-use grade10::core::trace::{Measurement, TimesliceGrid, MILLIS};
+use grade10::core::report::{render_gantt, GanttConfig};
+use grade10::core::trace::{
+    ExecutionTrace, Measurement, ResourceInstance, ResourceTrace, TimesliceGrid, TraceBuilder,
+    MILLIS,
+};
+use grade10::core::ExecutionModel;
 use grade10::graph::algorithms::{bfs, pagerank};
 use grade10::graph::partition::{EdgeCutPartition, VertexCutPartition};
 use grade10::graph::{CsrGraph, VertexId};
 
+fn vec_f64(rng: &mut ChaCha8Rng, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+    let n = rng.gen_range(min_len..=max_len);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
 // ---------- cluster: max–min fair allocation ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    #[test]
-    fn fair_share_respects_capacity_and_demands(
-        demands in prop::collection::vec(0.0f64..10.0, 0..20),
-        capacity in 0.1f64..50.0,
-    ) {
+#[test]
+fn fair_share_respects_capacity_and_demands() {
+    for case in 0..200u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5A17_0000 + case);
+        let demands = vec_f64(&mut rng, 0.0, 10.0, 0, 19);
+        let capacity = rng.gen_range(0.1..50.0);
         let rates = fair_share_single(&demands, capacity);
         let total: f64 = rates.iter().sum();
-        prop_assert!(total <= capacity + 1e-6);
+        assert!(total <= capacity + 1e-6, "case {case}");
         for (r, d) in rates.iter().zip(&demands) {
-            prop_assert!(*r <= d + 1e-9);
-            prop_assert!(*r >= -1e-12);
+            assert!(*r <= d + 1e-9, "case {case}");
+            assert!(*r >= -1e-12, "case {case}");
         }
         // Work conservation: if capacity remains, every demand is met.
         if total < capacity - 1e-6 {
             for (r, d) in rates.iter().zip(&demands) {
-                prop_assert!((r - d).abs() < 1e-6);
+                assert!((r - d).abs() < 1e-6, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn bipartite_allocation_respects_all_links(
-        flows in prop::collection::vec((0usize..4, 0usize..4, 0.1f64..20.0), 1..12),
-        caps in prop::collection::vec(0.5f64..10.0, 8),
-    ) {
-        let consumers: Vec<Consumer> = flows
-            .iter()
-            .map(|&(src, dst, demand)| Consumer {
-                demand,
-                links: vec![src, 4 + dst],
+#[test]
+fn bipartite_allocation_respects_all_links() {
+    for case in 0..200u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5A17_1000 + case);
+        let nflows = rng.gen_range(1..12usize);
+        let consumers: Vec<Consumer> = (0..nflows)
+            .map(|_| Consumer {
+                demand: rng.gen_range(0.1..20.0),
+                links: vec![rng.gen_range(0..4usize), 4 + rng.gen_range(0..4usize)],
             })
             .collect();
+        let caps: Vec<f64> = (0..8).map(|_| rng.gen_range(0.5..10.0)).collect();
         let rates = max_min_fair(&consumers, &caps);
         let mut used = [0.0f64; 8];
         for (c, r) in consumers.iter().zip(&rates) {
-            prop_assert!(*r <= c.demand + 1e-9);
+            assert!(*r <= c.demand + 1e-9, "case {case}");
             for &l in &c.links {
                 used[l] += r;
             }
         }
         for (l, &u) in used.iter().enumerate() {
-            prop_assert!(u <= caps[l] + 1e-6, "link {l}: {u} > {}", caps[l]);
+            assert!(u <= caps[l] + 1e-6, "case {case} link {l}: {u} > {}", caps[l]);
         }
     }
 }
 
 // ---------- core: waterfill and upsampling ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    #[test]
-    fn waterfill_conserves_and_caps(
-        weights in prop::collection::vec(0.0f64..5.0, 1..12),
-        caps in prop::collection::vec(0.0f64..8.0, 1..12),
-        amount in 0.0f64..40.0,
-    ) {
+#[test]
+fn waterfill_conserves_and_caps() {
+    for case in 0..200u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5A17_2000 + case);
+        let weights = vec_f64(&mut rng, 0.0, 5.0, 1, 11);
+        let caps = vec_f64(&mut rng, 0.0, 8.0, 1, 11);
+        let amount = rng.gen_range(0.0..40.0);
         let n = weights.len().min(caps.len());
         let (weights, caps) = (&weights[..n], &caps[..n]);
         let mut out = vec![0.0; n];
         let left = waterfill(weights, caps, amount, &mut out);
         let placed: f64 = out.iter().sum();
-        prop_assert!((placed + left - amount).abs() < 1e-6);
+        assert!((placed + left - amount).abs() < 1e-6, "case {case}");
         for i in 0..n {
-            prop_assert!(out[i] <= caps[i] + 1e-9);
+            assert!(out[i] <= caps[i] + 1e-9, "case {case}");
             if weights[i] == 0.0 {
-                prop_assert!(out[i] == 0.0);
+                assert!(out[i] == 0.0, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn upsampling_conserves_total_and_capacity(
-        exact in prop::collection::vec(0.0f64..6.0, 4..16),
-        variable in prop::collection::vec(0.0f64..3.0, 4..16),
-        avg in 0.0f64..5.0,
-        capacity in 1.0f64..6.0,
-    ) {
+#[test]
+fn upsampling_conserves_total_and_capacity() {
+    for case in 0..200u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5A17_3000 + case);
+        let exact = vec_f64(&mut rng, 0.0, 6.0, 4, 15);
+        let variable = vec_f64(&mut rng, 0.0, 3.0, 4, 15);
+        let avg = rng.gen_range(0.0..5.0);
+        let capacity = rng.gen_range(1.0..6.0);
         let n = exact.len().min(variable.len());
         let (exact, variable) = (&exact[..n], &variable[..n]);
         let grid = TimesliceGrid::covering(0, n as u64 * 10 * MILLIS, 10 * MILLIS);
@@ -115,30 +128,26 @@ proptest! {
         let mut out = vec![0.0; n];
         let overflow = upsample_measurement(&m, &grid, exact, variable, capacity, &mut out);
         let placed: f64 = out.iter().sum();
-        prop_assert!((placed + overflow - avg * n as f64).abs() < 1e-6);
+        assert!((placed + overflow - avg * n as f64).abs() < 1e-6, "case {case}");
         for &v in &out {
-            prop_assert!(v <= capacity + 1e-6);
-            prop_assert!(v >= -1e-12);
+            assert!(v <= capacity + 1e-6, "case {case}");
+            assert!(v >= -1e-12, "case {case}");
         }
         // Overflow only when the measurement physically exceeds capacity.
         if avg <= capacity - 1e-9 {
-            prop_assert!(overflow < 1e-6);
+            assert!(overflow < 1e-6, "case {case}");
         }
     }
 }
 
 // ---------- core: replay monotonicity ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn replay_critical_path_is_monotone_in_durations(
-        durs in prop::collection::vec(1u64..200, 4),
-        shrink in prop::collection::vec(0.1f64..1.0, 4),
-    ) {
-        use grade10::core::model::{ExecutionModelBuilder, Repeat};
-        use grade10::core::trace::TraceBuilder;
+#[test]
+fn replay_critical_path_is_monotone_in_durations() {
+    for case in 0..64u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5A17_4000 + case);
+        let durs: Vec<u64> = (0..4).map(|_| rng.gen_range(1..200u64)).collect();
+        let shrink: Vec<f64> = (0..4).map(|_| rng.gen_range(0.1..1.0)).collect();
         // job -> step(seq) x2 -> task(par) x2 each.
         let mut b = ExecutionModelBuilder::new("job");
         let r = b.root();
@@ -148,11 +157,19 @@ proptest! {
         let mut tb = TraceBuilder::new(&model);
         let s0 = durs[0].max(durs[1]);
         let s1 = durs[2].max(durs[3]);
-        tb.add_phase(&[("job", 0)], 0, (s0 + s1) * MILLIS, None, None).unwrap();
+        tb.add_phase(&[("job", 0)], 0, (s0 + s1) * MILLIS, None, None)
+            .unwrap();
         for (si, window) in [(0u32, 0..2usize), (1, 2..4)] {
             let base = if si == 0 { 0 } else { s0 };
             let len = if si == 0 { s0 } else { s1 };
-            tb.add_phase(&[("job", 0), ("step", si)], base * MILLIS, (base + len) * MILLIS, None, None).unwrap();
+            tb.add_phase(
+                &[("job", 0), ("step", si)],
+                base * MILLIS,
+                (base + len) * MILLIS,
+                None,
+                None,
+            )
+            .unwrap();
             for (k, di) in window.enumerate() {
                 tb.add_phase(
                     &[("job", 0), ("step", si), ("task", k as u32)],
@@ -160,11 +177,14 @@ proptest! {
                     (base + durs[di]) * MILLIS,
                     Some(0),
                     Some(k as u16),
-                ).unwrap();
+                )
+                .unwrap();
             }
         }
         let trace = tb.build().unwrap();
-        let cfg = ReplayConfig { enforce_concurrency: false };
+        let cfg = ReplayConfig {
+            enforce_concurrency: false,
+        };
         let base = replay(&model, &trace, &|id| trace.instance(id).duration(), &cfg);
         let shrunk = replay(
             &model,
@@ -179,189 +199,225 @@ proptest! {
             },
             &cfg,
         );
-        prop_assert!(shrunk.makespan <= base.makespan);
+        assert!(shrunk.makespan <= base.makespan, "case {case}");
         // Critical path equals the sum of each step's longest task.
         let expect = durs[0].max(durs[1]) + durs[2].max(durs[3]);
-        prop_assert_eq!(base.makespan, expect * MILLIS);
+        assert_eq!(base.makespan, expect * MILLIS, "case {case}");
     }
 }
 
 // ---------- graph: partitions and algorithms ----------
 
-fn arbitrary_graph() -> impl Strategy<Value = CsrGraph> {
-    (2usize..40, prop::collection::vec((0u32..40, 0u32..40), 1..120)).prop_map(|(n, edges)| {
-        let edges: Vec<(VertexId, VertexId)> = edges
-            .into_iter()
-            .map(|(a, b)| (a % n as u32, b % n as u32))
-            .collect();
-        CsrGraph::with_transpose(n, &edges)
-    })
+fn arbitrary_graph(rng: &mut ChaCha8Rng) -> CsrGraph {
+    let n = rng.gen_range(2..40usize);
+    let nedges = rng.gen_range(1..120usize);
+    let edges: Vec<(VertexId, VertexId)> = (0..nedges)
+        .map(|_| {
+            (
+                rng.gen_range(0..n) as VertexId,
+                rng.gen_range(0..n) as VertexId,
+            )
+        })
+        .collect();
+    CsrGraph::with_transpose(n, &edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(100))]
-
-    #[test]
-    fn edge_cut_partition_covers_all_vertices(g in arbitrary_graph(), parts in 1usize..6) {
+#[test]
+fn edge_cut_partition_covers_all_vertices() {
+    for case in 0..100u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5A17_5000 + case);
+        let g = arbitrary_graph(&mut rng);
+        let parts = rng.gen_range(1..6usize);
         let p = EdgeCutPartition::hash(&g, parts);
         let loads = p.vertex_loads();
-        prop_assert_eq!(loads.iter().sum::<u64>() as usize, g.num_vertices());
+        assert_eq!(loads.iter().sum::<u64>() as usize, g.num_vertices(), "case {case}");
         for v in g.vertices() {
-            prop_assert!((p.owner(v) as usize) < parts);
+            assert!((p.owner(v) as usize) < parts, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn vertex_cut_covers_all_edges_once(g in arbitrary_graph(), parts in 1usize..6) {
+#[test]
+fn vertex_cut_covers_all_edges_once() {
+    for case in 0..100u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5A17_6000 + case);
+        let g = arbitrary_graph(&mut rng);
+        let parts = rng.gen_range(1..6usize);
         let p = VertexCutPartition::greedy(&g, parts);
-        prop_assert_eq!(p.edge_loads().iter().sum::<u64>() as usize, g.num_edges());
+        assert_eq!(
+            p.edge_loads().iter().sum::<u64>() as usize,
+            g.num_edges(),
+            "case {case}"
+        );
         // Every endpoint of every edge has a replica where the edge lives.
         let mut eidx = 0u64;
         for u in g.vertices() {
             for &v in g.neighbors(u) {
                 let owner = p.edge_owner(eidx);
-                prop_assert!(p.has_replica(u, owner));
-                prop_assert!(p.has_replica(v, owner));
+                assert!(p.has_replica(u, owner), "case {case}");
+                assert!(p.has_replica(v, owner), "case {case}");
                 eidx += 1;
             }
         }
     }
+}
 
-    #[test]
-    fn bfs_distances_satisfy_triangle_inequality(g in arbitrary_graph()) {
+#[test]
+fn bfs_distances_satisfy_triangle_inequality() {
+    for case in 0..100u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5A17_7000 + case);
+        let g = arbitrary_graph(&mut rng);
         let p = EdgeCutPartition::hash(&g, 1);
         let r = bfs(&g, &p, 0);
         for (u, v) in g.edges() {
             let du = r.distance[u as usize];
             if du != u64::MAX {
-                prop_assert!(r.distance[v as usize] <= du + 1);
+                assert!(r.distance[v as usize] <= du + 1, "case {case}");
             }
         }
-        prop_assert_eq!(r.distance[0], 0);
+        assert_eq!(r.distance[0], 0, "case {case}");
     }
+}
 
-    #[test]
-    fn pagerank_mass_is_conserved(g in arbitrary_graph(), iters in 1usize..6) {
+#[test]
+fn pagerank_mass_is_conserved() {
+    for case in 0..100u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5A17_8000 + case);
+        let g = arbitrary_graph(&mut rng);
+        let iters = rng.gen_range(1..6usize);
         let p = EdgeCutPartition::hash(&g, 2);
         let r = pagerank(&g, &p, iters, 0.85);
         let sum: f64 = r.rank.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-6, "rank mass {sum}");
-        prop_assert!(r.rank.iter().all(|&x| x >= 0.0));
+        assert!((sum - 1.0).abs() < 1e-6, "case {case}: rank mass {sum}");
+        assert!(r.rank.iter().all(|&x| x >= 0.0), "case {case}");
     }
+}
 
-    #[test]
-    fn timeslice_grid_partitions_time(origin in 0u64..1000, span in 1u64..100_000, slice in 1u64..1000) {
+#[test]
+fn timeslice_grid_partitions_time() {
+    for case in 0..100u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5A17_9000 + case);
+        let origin = rng.gen_range(0..1000u64);
+        let span = rng.gen_range(1..100_000u64);
+        let slice = rng.gen_range(1..1000u64);
         let grid = TimesliceGrid::covering(origin, origin + span, slice);
         // Slices tile the covered range without gaps.
         let mut expected_start = origin;
         for i in 0..grid.num_slices() {
             let (s, e) = grid.bounds(i);
-            prop_assert_eq!(s, expected_start);
-            prop_assert_eq!(e - s, slice);
+            assert_eq!(s, expected_start, "case {case}");
+            assert_eq!(e - s, slice, "case {case}");
             expected_start = e;
         }
-        prop_assert!(expected_start >= origin + span);
+        assert!(expected_start >= origin + span, "case {case}");
         // Every instant maps to the slice containing it.
         for t in [origin, origin + span / 2, origin + span - 1] {
             let i = grid.slice_of(t);
             let (s, e) = grid.bounds(i);
-            prop_assert!(s <= t && t < e);
+            assert!(s <= t && t < e, "case {case}");
         }
     }
 }
-
 
 // ---------- core: full attribution pipeline under random inputs ----------
 
 /// A random flat workload: n parallel phases with arbitrary intervals and
 /// rules, one CPU, random measurements.
-fn random_scenario() -> impl Strategy<
-    Value = (ExecutionModel, RuleSet, ExecutionTrace, ResourceTrace),
-> {
-    (
-        prop::collection::vec((0u64..20, 1u64..20, 0u8..3, 1u32..6), 1..8),
-        prop::collection::vec(0.0f64..5.0, 1..10),
-    )
-        .prop_map(|(phases, samples)| {
-            let mut b = ExecutionModelBuilder::new("job");
-            let root = b.root();
-            let ty = b.child(root, "p", Repeat::Parallel);
-            let model = b.build();
-            let mut rules = RuleSet::new().with_default(AttributionRule::None);
-            let end = phases
-                .iter()
-                .map(|&(s, d, _, _)| s + d)
-                .max()
-                .unwrap()
-                .max(samples.len() as u64 * 2);
-            let mut tb = TraceBuilder::new(&model);
-            tb.add_phase(&[("job", 0)], 0, end * 10 * MILLIS, None, None)
-                .unwrap();
-            for (k, &(start, dur, rule_kind, weight)) in phases.iter().enumerate() {
-                tb.add_phase(
-                    &[("job", 0), ("p", k as u32)],
-                    start * 10 * MILLIS,
-                    (start + dur) * 10 * MILLIS,
-                    Some(0),
-                    Some(k as u16),
-                )
-                .unwrap();
-                // One rule for the whole type: last phase wins, which is
-                // fine — the invariants hold for any rule.
-                let rule = match rule_kind {
-                    0 => AttributionRule::None,
-                    1 => AttributionRule::Exact((weight as f64 / 10.0).min(1.0)),
-                    _ => AttributionRule::Variable(weight as f64),
-                };
-                rules.set(ty, "cpu", rule);
-            }
-            let trace = tb.build().unwrap();
-            let mut rt = ResourceTrace::new();
-            let cpu = rt.add_resource(ResourceInstance {
-                kind: "cpu".into(),
-                machine: Some(0),
-                capacity: 4.0,
-            });
-            rt.add_series(cpu, 0, 20 * MILLIS, &samples);
-            (model, rules, trace, rt)
+fn random_scenario(
+    rng: &mut ChaCha8Rng,
+) -> (ExecutionModel, RuleSet, ExecutionTrace, ResourceTrace) {
+    let nphases = rng.gen_range(1..8usize);
+    let phases: Vec<(u64, u64, u32, u32)> = (0..nphases)
+        .map(|_| {
+            (
+                rng.gen_range(0..20u64),
+                rng.gen_range(1..20u64),
+                rng.gen_range(0..3u32),
+                rng.gen_range(1..6u32),
+            )
         })
+        .collect();
+    let samples = vec_f64(rng, 0.0, 5.0, 1, 9);
+    let mut b = ExecutionModelBuilder::new("job");
+    let root = b.root();
+    let ty = b.child(root, "p", Repeat::Parallel);
+    let model = b.build();
+    let mut rules = RuleSet::new().with_default(AttributionRule::None);
+    let end = phases
+        .iter()
+        .map(|&(s, d, _, _)| s + d)
+        .max()
+        .unwrap()
+        .max(samples.len() as u64 * 2);
+    let mut tb = TraceBuilder::new(&model);
+    tb.add_phase(&[("job", 0)], 0, end * 10 * MILLIS, None, None)
+        .unwrap();
+    for (k, &(start, dur, rule_kind, weight)) in phases.iter().enumerate() {
+        tb.add_phase(
+            &[("job", 0), ("p", k as u32)],
+            start * 10 * MILLIS,
+            (start + dur) * 10 * MILLIS,
+            Some(0),
+            Some(k as u16),
+        )
+        .unwrap();
+        // One rule for the whole type: last phase wins, which is
+        // fine — the invariants hold for any rule.
+        let rule = match rule_kind {
+            0 => AttributionRule::None,
+            1 => AttributionRule::Exact((weight as f64 / 10.0).min(1.0)),
+            _ => AttributionRule::Variable(weight as f64),
+        };
+        rules.set(ty, "cpu", rule);
+    }
+    let trace = tb.build().unwrap();
+    let mut rt = ResourceTrace::new();
+    let cpu = rt.add_resource(ResourceInstance {
+        kind: "cpu".into(),
+        machine: Some(0),
+        capacity: 4.0,
+    });
+    rt.add_series(cpu, 0, 20 * MILLIS, &samples);
+    (model, rules, trace, rt)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(100))]
-
-    #[test]
-    fn attribution_pipeline_invariants_hold_for_random_inputs(
-        (model, rules, trace, rt) in random_scenario()
-    ) {
+#[test]
+fn attribution_pipeline_invariants_hold_for_random_inputs() {
+    for case in 0..100u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5A17_A000 + case);
+        let (model, rules, trace, rt) = random_scenario(&mut rng);
         let profile = build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default());
         let measured = rt.total_consumption(grade10::core::trace::ResourceIdx(0));
         let upsampled: f64 =
             profile.consumption[0].iter().sum::<f64>() * profile.grid.slice_secs();
         // Conservation up to reported overflow.
-        prop_assert!(
-            (measured - upsampled - profile.overflow[0]).abs() < 1e-6 + measured * 1e-9
+        assert!(
+            (measured - upsampled - profile.overflow[0]).abs() < 1e-6 + measured * 1e-9,
+            "case {case}"
         );
         // Capacity respected everywhere.
         for &c in &profile.consumption[0] {
-            prop_assert!(c <= 4.0 + 1e-9);
-            prop_assert!(c >= -1e-12);
+            assert!(c <= 4.0 + 1e-9, "case {case}");
+            assert!(c >= -1e-12, "case {case}");
         }
         // Attribution + unattributed == consumption per slice.
         for s in 0..profile.grid.num_slices() {
             let attributed: f64 = profile.usages.iter().map(|u| u.usage_at(s)).sum();
-            prop_assert!(
-                (attributed + profile.unattributed[0][s] - profile.consumption[0][s]).abs()
-                    < 1e-6
+            assert!(
+                (attributed + profile.unattributed[0][s] - profile.consumption[0][s]).abs() < 1e-6,
+                "case {case}"
             );
-            prop_assert!(attributed >= -1e-9);
+            assert!(attributed >= -1e-9, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn critical_path_accounts_for_the_whole_makespan(
-        durs in prop::collection::vec(1u64..100, 2..10)
-    ) {
+#[test]
+fn critical_path_accounts_for_the_whole_makespan() {
+    for case in 0..100u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5A17_B000 + case);
+        let ndurs = rng.gen_range(2..10usize);
+        let durs: Vec<u64> = (0..ndurs).map(|_| rng.gen_range(1..100u64)).collect();
         // Sequential steps: the path must cover every step exactly.
         let mut b = ExecutionModelBuilder::new("job");
         let root = b.root();
@@ -369,7 +425,8 @@ proptest! {
         let model = b.build();
         let total: u64 = durs.iter().sum();
         let mut tb = TraceBuilder::new(&model);
-        tb.add_phase(&[("job", 0)], 0, total * MILLIS, None, None).unwrap();
+        tb.add_phase(&[("job", 0)], 0, total * MILLIS, None, None)
+            .unwrap();
         let mut t0 = 0u64;
         for (k, &d) in durs.iter().enumerate() {
             tb.add_phase(
@@ -384,17 +441,22 @@ proptest! {
         }
         let trace = tb.build().unwrap();
         let cp = critical_path(&model, &trace, &Default::default());
-        prop_assert_eq!(cp.makespan, total * MILLIS);
-        prop_assert_eq!(cp.hops.len(), durs.len());
+        assert_eq!(cp.makespan, total * MILLIS, "case {case}");
+        assert_eq!(cp.hops.len(), durs.len(), "case {case}");
         let path_time: u64 = cp.hops.iter().map(|h| h.end - h.start).sum();
-        prop_assert_eq!(path_time, total * MILLIS);
+        assert_eq!(path_time, total * MILLIS, "case {case}");
     }
+}
 
-    #[test]
-    fn gantt_renders_arbitrary_traces_without_panicking(
-        phases in prop::collection::vec((0u64..50, 1u64..50), 1..20),
-        width in 1usize..200,
-    ) {
+#[test]
+fn gantt_renders_arbitrary_traces_without_panicking() {
+    for case in 0..100u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5A17_C000 + case);
+        let nphases = rng.gen_range(1..20usize);
+        let phases: Vec<(u64, u64)> = (0..nphases)
+            .map(|_| (rng.gen_range(0..50u64), rng.gen_range(1..50u64)))
+            .collect();
+        let width = rng.gen_range(1..200usize);
         let mut b = ExecutionModelBuilder::new("job");
         let root = b.root();
         let _ = b.child(root, "p", Repeat::Parallel);
@@ -422,8 +484,8 @@ proptest! {
                 max_rows: 10,
             },
         );
-        prop_assert!(!out.is_empty());
+        assert!(!out.is_empty(), "case {case}");
         // Row count respects the cap (+1 for the omission note).
-        prop_assert!(out.lines().count() <= 11);
+        assert!(out.lines().count() <= 11, "case {case}");
     }
 }
