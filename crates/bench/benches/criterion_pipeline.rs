@@ -125,6 +125,22 @@ fn main() {
         ]);
     }
 
+    // Same build with the self-characterization recorder active, for a
+    // direct view of the observability overhead (see also obs_overhead).
+    {
+        let (model, rules, trace, rt) = synthetic(50, 8);
+        let recording = grade10_core::obs::start();
+        let us = time_median_us(10, || {
+            build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default())
+        });
+        drop(recording.finish());
+        table.row(&[
+            "profile_build (recorded)".to_string(),
+            "50".to_string(),
+            format!("{us:.1}"),
+        ]);
+    }
+
     let (model, rules, trace, rt) = synthetic(50, 8);
     let profile = build_profile(&model, &rules, &trace, &rt, &ProfileConfig::default());
     let us = time_median_us(10, || {

@@ -70,6 +70,32 @@ impl SimDuration {
     pub const fn is_zero(&self) -> bool {
         self.0 == 0
     }
+
+    /// From a measured wall-clock duration, saturating at `u64::MAX`
+    /// nanoseconds (≈ 584 years — far beyond any recorded pipeline run).
+    /// This is the bridge between real recorded time (e.g. the
+    /// observability layer's span clock) and the simulated timebase, so
+    /// both print and compare through one type.
+    pub fn from_wall(d: std::time::Duration) -> Self {
+        SimDuration(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// As a wall-clock [`std::time::Duration`].
+    pub const fn as_wall(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.0)
+    }
+}
+
+impl From<std::time::Duration> for SimDuration {
+    fn from(d: std::time::Duration) -> Self {
+        SimDuration::from_wall(d)
+    }
+}
+
+impl From<SimDuration> for std::time::Duration {
+    fn from(d: SimDuration) -> Self {
+        d.as_wall()
+    }
 }
 
 impl SimTime {
@@ -206,5 +232,17 @@ mod tests {
         assert_eq!(format!("{}", SimDuration::from_millis(2)), "2.000ms");
         assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
         assert_eq!(format!("{}", SimDuration::from_nanos(7)), "7ns");
+    }
+
+    #[test]
+    fn wall_clock_round_trip() {
+        let wall = std::time::Duration::from_micros(1_234);
+        let sim = SimDuration::from_wall(wall);
+        assert_eq!(sim, SimDuration::from_micros(1_234));
+        assert_eq!(sim.as_wall(), wall);
+        let via_from: SimDuration = wall.into();
+        assert_eq!(via_from, sim);
+        let back: std::time::Duration = sim.into();
+        assert_eq!(back, wall);
     }
 }

@@ -242,12 +242,15 @@ pub fn build_profile(
     resources: &ResourceTrace,
     cfg: &ProfileConfig,
 ) -> PerformanceProfile {
+    let demand_span = crate::obs::span(crate::obs::Stage::Demand);
     let end = trace.makespan_end().max(resources.end()).max(cfg.slice);
     let grid = TimesliceGrid::covering(0, end, cfg.slice);
     let ns = grid.num_slices();
     let nr = resources.instances().len();
 
     let dm = estimate_demand(model, rules, trace, resources, &grid);
+    drop(demand_span);
+    let upsample_span = crate::obs::span(crate::obs::Stage::Upsample);
 
     // Upsampling is independent per resource instance; fan the rows out
     // over a small thread scope when there is enough work to amortize
@@ -286,10 +289,20 @@ pub fn build_profile(
         Parallelism::Auto => nr >= 4 && (ns * nr) >= 64 * 1024,
     };
     if parallel_worthwhile {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
+        // `GRADE10_THREADS` pins the fan-out width (tests use it to prove
+        // the result is independent of thread count); otherwise size the
+        // scope to the machine.
+        let threads = std::env::var("GRADE10_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
             .min(nr);
+        let obs_session = crate::obs::worker_handle();
         std::thread::scope(|scope| {
             let mut rows: Vec<(usize, &mut Vec<f64>, &mut f64)> = consumption
                 .iter_mut()
@@ -305,9 +318,11 @@ pub fn build_profile(
             }
             for batch in work {
                 let upsample_row = &upsample_row;
+                let obs_session = obs_session.clone();
                 // A worker panic propagates when the scope joins, exactly
                 // like the old crossbeam scope's `expect`.
                 scope.spawn(move || {
+                    let _worker = obs_session.as_ref().map(|h| h.enter());
                     for (r, row, over) in batch {
                         *over = upsample_row(r, row);
                     }
@@ -359,6 +374,8 @@ pub fn build_profile(
         }
     }
 
+    drop(upsample_span);
+    let _attribute_span = crate::obs::span(crate::obs::Stage::Attribute);
     let att = attribute(&dm, &consumption);
 
     let mut usages = Vec::with_capacity(dm.participants.len());

@@ -78,6 +78,7 @@ pub mod indicator;
 pub mod infer;
 pub mod issues;
 pub mod model;
+pub mod obs;
 pub mod parse;
 pub mod pipeline;
 pub mod replay;
@@ -86,7 +87,10 @@ pub mod trace;
 
 pub use attribution::{build_profile, PerformanceProfile, ProfileConfig, UpsampleMode};
 pub use error::Grade10Error;
-pub use pipeline::{characterize, characterize_events, Characterization, CharacterizationConfig};
+pub use pipeline::{
+    characterize, characterize_events, characterize_meta, characterize_self, Characterization,
+    CharacterizationConfig, MetaCharacterization, SelfCharacterization,
+};
 pub use bottleneck::{BottleneckConfig, BottleneckReport};
 pub use issues::{IssueConfig, IssueKind, PerformanceIssue};
 pub use model::{AttributionRule, ExecutionModel, ExecutionModelBuilder, Repeat, RuleSet};

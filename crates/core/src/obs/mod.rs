@@ -1,0 +1,29 @@
+//! Self-observability: Grade10 instrumented with its own recorder, so the
+//! pipeline can characterize itself.
+//!
+//! Three pieces:
+//!
+//! 1. [`recorder`](self) — RAII [`span`]s buffered per thread (no locks on
+//!    the hot path), wall-clock + allocation counters, no-op when no
+//!    session is [`start`]ed;
+//! 2. the meta-models ([`meta_model`], [`meta_resource_model`]) describing
+//!    the pipeline's own stages and recorder-thread CPUs, plus conversion
+//!    of a captured [`MetaTrace`] into standard raw inputs;
+//! 3. [`CountingAlloc`], an opt-in global allocator wrapper feeding the
+//!    per-span allocation counters.
+//!
+//! The feedback loop lives in
+//! [`pipeline::characterize_self`](crate::pipeline::characterize_self):
+//! run a normal characterization while recording, then run the captured
+//! meta-trace through the pipeline again.
+
+mod alloc;
+mod meta;
+mod recorder;
+
+pub use alloc::{snapshot, AllocSnapshot, CountingAlloc};
+pub use meta::{meta_bundle, meta_model, meta_resource_model, META_CPU, META_ROOT};
+pub use recorder::{
+    span, start, worker_handle, MetaTrace, Recording, Span, SpanRecord, Stage, WorkerGuard,
+    WorkerHandle,
+};

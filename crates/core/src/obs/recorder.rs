@@ -1,0 +1,433 @@
+//! The span recorder: RAII spans buffered per thread, drained at scope
+//! exit, no locks on the hot path.
+//!
+//! Recording is opt-in and thread-scoped. [`start`] installs a session on
+//! the *current* thread; [`span`] records into it; worker threads join via
+//! an explicitly propagated [`WorkerHandle`] (thread-locals do not cross
+//! `std::thread::scope` boundaries on their own). When no session is
+//! installed, [`span`] costs one thread-local read and records nothing —
+//! the instrumented pipeline stays effectively free for normal callers.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::obs::alloc::{self, AllocSnapshot};
+use crate::trace::Nanos;
+
+/// The stages of Grade10's own pipeline, as recorded by the instrumented
+/// code. Names match the phase types of [`meta_model`](crate::obs::meta_model).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Stage {
+    /// Validation/repair of raw events and monitoring (`trace::repair::ingest`).
+    Ingest,
+    /// Timeslice-granular demand estimation (§III-D1).
+    Demand,
+    /// Upsampling coarse measurements to timeslices (§III-D2), including
+    /// the missing-slice estimation pass.
+    Upsample,
+    /// One upsampling worker thread's share of the fan-out.
+    Worker,
+    /// Attribution of consumption to phases (§III-D3).
+    Attribute,
+    /// Bottleneck identification, replay simulation and issue detection.
+    Bottleneck,
+    /// Rendering of human-readable output.
+    Report,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Ingest,
+        Stage::Demand,
+        Stage::Upsample,
+        Stage::Worker,
+        Stage::Attribute,
+        Stage::Bottleneck,
+        Stage::Report,
+    ];
+
+    /// The stage's phase-type name in the meta execution model.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Ingest => "ingest",
+            Stage::Demand => "demand",
+            Stage::Upsample => "upsample",
+            Stage::Worker => "worker",
+            Stage::Attribute => "attribute",
+            Stage::Bottleneck => "bottleneck",
+            Stage::Report => "report",
+        }
+    }
+}
+
+/// One closed span: a stage execution on one recorder thread.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Which pipeline stage ran.
+    pub stage: Stage,
+    /// Recorder thread index (0 = the thread that called [`start`]).
+    pub thread: u16,
+    /// Start, nanoseconds since the session epoch.
+    pub start: Nanos,
+    /// End, nanoseconds since the session epoch (`end >= start`).
+    pub end: Nanos,
+    /// Heap allocations performed on this thread while the span was open.
+    /// Zero unless the binary installs [`CountingAlloc`](crate::obs::CountingAlloc).
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn duration(&self) -> Nanos {
+        self.end - self.start
+    }
+}
+
+/// Everything one recording session captured: the raw self-trace that
+/// [`characterize_meta`](crate::pipeline::characterize_meta) feeds back
+/// through the pipeline.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetaTrace {
+    /// All closed spans, sorted by `(start, thread, end)`.
+    pub spans: Vec<SpanRecord>,
+    /// Session end, nanoseconds since the epoch (≥ every span's end).
+    pub end: Nanos,
+}
+
+impl MetaTrace {
+    /// Total recorded wall-clock time of one stage, in nanoseconds.
+    pub fn stage_wall(&self, stage: Stage) -> Nanos {
+        self.spans
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(SpanRecord::duration)
+            .sum()
+    }
+
+    /// Number of distinct recorder threads that produced spans.
+    pub fn num_threads(&self) -> usize {
+        let mut threads: Vec<u16> = self.spans.iter().map(|s| s.thread).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        threads.len()
+    }
+}
+
+struct SessionInner {
+    epoch: Instant,
+    /// Cold path only: each thread's buffer is flushed here once, when the
+    /// thread leaves the session.
+    spans: Mutex<Vec<SpanRecord>>,
+    next_thread: AtomicU16,
+}
+
+struct ThreadCtx {
+    session: Arc<SessionInner>,
+    thread: u16,
+    buf: Vec<SpanRecord>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+fn flush_ctx(ctx: ThreadCtx) {
+    let mut spans = ctx
+        .session
+        .spans
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    spans.extend(ctx.buf);
+}
+
+/// An active recording session, returned by [`start`]. Dropping it without
+/// calling [`finish`](Recording::finish) discards the recording.
+pub struct Recording {
+    session: Arc<SessionInner>,
+}
+
+/// Starts recording spans on the current thread.
+///
+/// # Panics
+/// Panics if this thread already has an active session: sessions do not
+/// nest (a self-characterization of a self-characterization would recurse).
+pub fn start() -> Recording {
+    let session = Arc::new(SessionInner {
+        epoch: Instant::now(),
+        spans: Mutex::new(Vec::new()),
+        next_thread: AtomicU16::new(1),
+    });
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        assert!(
+            c.is_none(),
+            "obs::start: this thread is already recording a session"
+        );
+        *c = Some(ThreadCtx {
+            session: Arc::clone(&session),
+            thread: 0,
+            buf: Vec::new(),
+        });
+    });
+    Recording { session }
+}
+
+impl Recording {
+    /// Stops recording on the calling thread and returns the captured
+    /// trace. Worker threads that entered via [`WorkerHandle`] have already
+    /// flushed their buffers when their guards dropped.
+    pub fn finish(self) -> MetaTrace {
+        if let Some(ctx) = CTX.with(|c| c.borrow_mut().take()) {
+            flush_ctx(ctx);
+        }
+        let end = self.session.epoch.elapsed().as_nanos() as Nanos;
+        let mut spans = {
+            let mut locked = self
+                .session
+                .spans
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            std::mem::take(&mut *locked)
+        };
+        spans.sort_by_key(|s| (s.start, s.thread, s.end));
+        let end = spans.iter().map(|s| s.end).fold(end, Nanos::max);
+        MetaTrace { spans, end }
+    }
+}
+
+impl Drop for Recording {
+    fn drop(&mut self) {
+        // If finish() ran, the context is already gone; otherwise uninstall
+        // it so an abandoned session does not leak into later pipeline runs
+        // on this thread.
+        CTX.with(|c| {
+            let mut c = c.borrow_mut();
+            if c.as_ref()
+                .is_some_and(|ctx| Arc::ptr_eq(&ctx.session, &self.session))
+            {
+                *c = None;
+            }
+        });
+    }
+}
+
+/// An open RAII span; the record is written when it drops. Inert (and
+/// near-free) when the thread has no active session.
+pub struct Span {
+    active: Option<(Stage, Nanos, AllocSnapshot)>,
+}
+
+/// Opens a span for `stage` on the current thread. The span closes — and
+/// the record is buffered — when the returned guard drops.
+#[inline]
+pub fn span(stage: Stage) -> Span {
+    let start = CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|ctx| ctx.session.epoch.elapsed().as_nanos() as Nanos)
+    });
+    Span {
+        active: start.map(|t0| (stage, t0, alloc::snapshot())),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((stage, start, alloc0)) = self.active.take() else {
+            return;
+        };
+        let alloc1 = alloc::snapshot();
+        CTX.with(|c| {
+            let mut c = c.borrow_mut();
+            if let Some(ctx) = c.as_mut() {
+                let end = (ctx.session.epoch.elapsed().as_nanos() as Nanos).max(start);
+                ctx.buf.push(SpanRecord {
+                    stage,
+                    thread: ctx.thread,
+                    start,
+                    end,
+                    allocs: alloc1.allocs.saturating_sub(alloc0.allocs),
+                    alloc_bytes: alloc1.bytes.saturating_sub(alloc0.bytes),
+                });
+            }
+        });
+    }
+}
+
+/// A cloneable handle that lets a spawned worker thread record into the
+/// session of the thread that created the handle.
+#[derive(Clone)]
+pub struct WorkerHandle {
+    session: Arc<SessionInner>,
+}
+
+/// The current thread's session as a handle for worker threads, or `None`
+/// when nothing is recording. Capture this *before* spawning and call
+/// [`WorkerHandle::enter`] on the worker.
+pub fn worker_handle() -> Option<WorkerHandle> {
+    CTX.with(|c| {
+        c.borrow().as_ref().map(|ctx| WorkerHandle {
+            session: Arc::clone(&ctx.session),
+        })
+    })
+}
+
+impl WorkerHandle {
+    /// Joins the session from a worker thread: installs a recording context
+    /// with a fresh thread index and opens a [`Stage::Worker`] span. The
+    /// returned guard closes the span and flushes the thread's buffer into
+    /// the session when dropped.
+    ///
+    /// If the calling thread already has a context (the handle was entered
+    /// on the coordinating thread itself), only the span is opened; the
+    /// existing context is left untouched.
+    pub fn enter(&self) -> WorkerGuard {
+        let fresh = CTX.with(|c| {
+            let mut c = c.borrow_mut();
+            if c.is_some() {
+                false
+            } else {
+                let thread = self.session.next_thread.fetch_add(1, Ordering::Relaxed);
+                *c = Some(ThreadCtx {
+                    session: Arc::clone(&self.session),
+                    thread,
+                    buf: Vec::new(),
+                });
+                true
+            }
+        });
+        WorkerGuard {
+            span: Some(span(Stage::Worker)),
+            fresh,
+        }
+    }
+}
+
+/// Guard returned by [`WorkerHandle::enter`]; closes the worker span and
+/// (for threads the handle installed) flushes and uninstalls the context.
+pub struct WorkerGuard {
+    span: Option<Span>,
+    fresh: bool,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        // Close the worker span first so it lands in the buffer...
+        self.span.take();
+        // ...then hand the buffer to the session.
+        if self.fresh {
+            if let Some(ctx) = CTX.with(|c| c.borrow_mut().take()) {
+                flush_ctx(ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_session_records_nothing() {
+        {
+            let _s = span(Stage::Demand);
+        }
+        let rec = start();
+        let trace = rec.finish();
+        assert!(trace.spans.is_empty());
+    }
+
+    #[test]
+    fn spans_capture_order_and_nesting() {
+        let rec = start();
+        {
+            let _outer = span(Stage::Upsample);
+            let _inner = span(Stage::Attribute);
+        }
+        {
+            let _s = span(Stage::Bottleneck);
+        }
+        let trace = rec.finish();
+        let stages: Vec<Stage> = trace.spans.iter().map(|s| s.stage).collect();
+        assert_eq!(
+            stages,
+            vec![Stage::Upsample, Stage::Attribute, Stage::Bottleneck]
+        );
+        for s in &trace.spans {
+            assert!(s.end >= s.start);
+            assert!(s.end <= trace.end);
+            assert_eq!(s.thread, 0);
+        }
+        // The inner span closed before (or with) the outer one.
+        assert!(trace.spans[1].end <= trace.spans[0].end);
+    }
+
+    #[test]
+    fn worker_threads_record_into_the_session() {
+        let rec = start();
+        let handle = worker_handle().expect("session active");
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    let _g = handle.enter();
+                    let _s = span(Stage::Upsample);
+                });
+            }
+        });
+        let trace = rec.finish();
+        let workers: Vec<&SpanRecord> = trace
+            .spans
+            .iter()
+            .filter(|s| s.stage == Stage::Worker)
+            .collect();
+        assert_eq!(workers.len(), 3);
+        let mut threads: Vec<u16> = workers.iter().map(|s| s.thread).collect();
+        threads.sort_unstable();
+        assert_eq!(threads, vec![1, 2, 3]);
+        // Each worker also recorded its nested upsample span on its thread.
+        assert_eq!(trace.stage_wall(Stage::Upsample), {
+            trace
+                .spans
+                .iter()
+                .filter(|s| s.stage == Stage::Upsample)
+                .map(SpanRecord::duration)
+                .sum()
+        });
+        // Thread 0 recorded no spans of its own here: only workers count.
+        assert_eq!(trace.num_threads(), 3);
+    }
+
+    #[test]
+    fn dropping_recording_uninstalls_context() {
+        {
+            let _rec = start();
+            // No finish(): dropped.
+        }
+        // A new session must start cleanly on the same thread.
+        let rec = start();
+        {
+            let _s = span(Stage::Ingest);
+        }
+        assert_eq!(rec.finish().spans.len(), 1);
+    }
+
+    #[test]
+    fn sessions_are_thread_scoped() {
+        let rec = start();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // No handle entered: this thread is not recording.
+                let _s = span(Stage::Demand);
+            });
+        });
+        assert!(rec.finish().spans.is_empty());
+    }
+}

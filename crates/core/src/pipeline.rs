@@ -15,6 +15,7 @@ use crate::issues::{
     detect_bottleneck_issues, detect_imbalance_issues, IssueConfig, IssueKind, PerformanceIssue,
 };
 use crate::model::{ExecutionModel, RuleSet};
+use crate::obs::{self, MetaTrace, Stage};
 use crate::parse::RawEvent;
 use crate::replay::{replay_original, ReplayConfig};
 use crate::report::table::pct;
@@ -151,6 +152,7 @@ fn characterize_with_report(
     let profile = build_profile(model, rules, trace, resources, &cfg.profile);
     report.slices_estimated = profile.estimated_slices();
     report.slices_total = profile.total_slices();
+    let _span = obs::span(Stage::Bottleneck);
     let bottlenecks = BottleneckReport::build(trace, &profile, &cfg.bottleneck);
     let base = replay_original(model, trace, &cfg.replay);
     let mut issues = detect_bottleneck_issues(
@@ -170,6 +172,118 @@ fn characterize_with_report(
         issues,
         ingest: report,
     }
+}
+
+/// A characterization of Grade10's own pipeline, produced by feeding a
+/// recorded [`MetaTrace`] back through the pipeline.
+pub struct MetaCharacterization {
+    /// The meta execution model (pipeline stages as phase types).
+    pub model: ExecutionModel,
+    /// Attribution rules of the meta model (CPU as `Variable` per stage).
+    pub rules: RuleSet,
+    /// The raw recorded spans the characterization was built from.
+    pub raw: MetaTrace,
+    /// The self-trace rendered as a standard raw event stream — the same
+    /// format external frameworks feed in, so it can be exported and
+    /// re-analyzed offline.
+    pub events: Vec<RawEvent>,
+    /// Synthesized per-recorder-thread CPU monitoring series.
+    pub series: Vec<RawSeries>,
+    /// The ingested execution trace of the pipeline run.
+    pub trace: ExecutionTrace,
+    /// The full pipeline output over the meta-trace: profile, bottlenecks,
+    /// issues — Grade10's verdict on Grade10.
+    pub result: Characterization,
+}
+
+impl MetaCharacterization {
+    /// Timeslice width (ns) used for a meta characterization of a recording
+    /// that ended at `end` ns: ~200 slices across the run, at least 10 µs
+    /// each so timer noise does not masquerade as utilization structure.
+    pub fn slice_for(end: u64) -> u64 {
+        (end / 200).max(10_000)
+    }
+
+    /// Monitoring window width (ns) matching [`slice_for`](Self::slice_for):
+    /// four timeslices per window, like real coarse monitoring, so the
+    /// demand-guided upsampler has genuine work to do.
+    pub fn window_for(end: u64) -> u64 {
+        Self::slice_for(end) * 4
+    }
+}
+
+/// Runs the attribution pipeline on a recorded meta-trace: Grade10
+/// characterizing its own execution. Uses the hand-written
+/// [`meta_model`](crate::obs::meta_model), a timeslice of
+/// [`MetaCharacterization::slice_for`] and strict ingestion — the recorder
+/// emits well-formed streams by construction, and a repair firing here
+/// would itself be a bug.
+pub fn characterize_meta(raw: &MetaTrace) -> Result<MetaCharacterization, Grade10Error> {
+    let (model, rules) = obs::meta_model();
+    let events = raw.to_raw_events();
+    let series = raw.to_raw_series(MetaCharacterization::window_for(raw.end));
+    let cfg = CharacterizationConfig {
+        profile: ProfileConfig {
+            slice: MetaCharacterization::slice_for(raw.end),
+            // The meta-trace is tiny; re-entering the thread scope to
+            // analyze it would only add noise to nested recordings.
+            parallelism: crate::attribution::Parallelism::Never,
+            ..ProfileConfig::default()
+        },
+        ..CharacterizationConfig::default()
+    };
+    let input = ingest(&model, &events, &series, &cfg.ingest)?;
+    let result = characterize_ingested(&model, &rules, &input, &cfg);
+    Ok(MetaCharacterization {
+        model,
+        rules,
+        raw: raw.clone(),
+        events,
+        series,
+        trace: input.trace,
+        result,
+    })
+}
+
+/// A normal characterization plus the pipeline's characterization of
+/// itself, from one instrumented run.
+pub struct SelfCharacterization {
+    /// The characterization of the *subject* traces, identical to what
+    /// [`characterize`] returns without recording.
+    pub result: Characterization,
+    /// The subject run's issue summary, rendered during the recorded
+    /// `report` stage (so that stage has real work attributed to it).
+    pub summary: Vec<String>,
+    /// The pipeline characterized by itself.
+    pub meta: MetaCharacterization,
+}
+
+/// Runs a normal characterization while recording the pipeline's own
+/// spans, then runs the attribution pipeline a second time on the captured
+/// meta-trace (§III applied to ourselves).
+///
+/// # Panics
+/// Panics if the current thread is already recording an observability
+/// session: self-characterizations do not nest.
+pub fn characterize_self(
+    model: &ExecutionModel,
+    rules: &RuleSet,
+    trace: &ExecutionTrace,
+    resources: &ResourceTrace,
+    cfg: &CharacterizationConfig,
+) -> Result<SelfCharacterization, Grade10Error> {
+    let recording = obs::start();
+    let result = characterize(model, rules, trace, resources, cfg);
+    let summary = {
+        let _span = obs::span(Stage::Report);
+        result.summary(model)
+    };
+    let meta = characterize_meta(&recording.finish())?;
+    Ok(SelfCharacterization {
+        result,
+        summary,
+        meta,
+    })
 }
 
 #[cfg(test)]

@@ -3,12 +3,14 @@
 
 pub mod gantt;
 pub mod html;
+pub mod self_profile;
 pub mod summary;
 pub mod table;
 pub mod timeseries;
 
 pub use gantt::{render_gantt, GanttConfig};
 pub use html::{render_html_report, HtmlConfig};
+pub use self_profile::self_profile_table;
 pub use summary::{blocked_time_table, ingest_table, machine_table, usage_by_type, usage_table};
 pub use table::{eng, pct, secs, Table};
 pub use timeseries::{render_presence, render_series};

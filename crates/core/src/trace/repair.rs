@@ -232,6 +232,7 @@ pub fn ingest(
     monitoring: &[RawSeries],
     cfg: &IngestConfig,
 ) -> Result<IngestedInput, Grade10Error> {
+    let _span = crate::obs::span(crate::obs::Stage::Ingest);
     let mut report = IngestReport::default();
     let trace = ingest_events(model, events, cfg, &mut report)?;
     let resources = ingest_monitoring(monitoring, cfg, &mut report)?;

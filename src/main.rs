@@ -6,12 +6,17 @@
 //!              [--dataset rmat:SCALE|social:VERTICES] [--seed N] [--gantt]
 //!              [--work-profile] [--export-logs DIR] [--html FILE]
 //!              [--inject CLASS[,CLASS...]] [--fault-seed N] [--lenient]
+//!              [--self-profile] [--self-export DIR]
 //!     Run a simulated workload end to end and print the characterization;
 //!     optionally ship the run's logs and monitoring as files that
 //!     `grade10 analyze` (and any other tooling) can consume. `--inject`
 //!     corrupts the collected streams with seeded faults (clock-skew,
 //!     reorder, drop, duplicate, truncate, monitoring, or `all`);
 //!     `--lenient` repairs the damage instead of rejecting it.
+//!     `--self-profile` additionally records the pipeline's own execution
+//!     and prints Grade10's characterization of itself; `--self-export DIR`
+//!     dumps that meta-trace (model + events + monitoring) in the offline
+//!     formats so `grade10 analyze` can round-trip it.
 //!
 //! grade10 export-model --engine giraph|powergraph [-o FILE]
 //!     Write the built-in expert input (execution model, resource model,
@@ -19,11 +24,13 @@
 //!
 //! grade10 analyze --model BUNDLE.json --events EVENTS.jsonl
 //!                 --resources RESOURCES.json [--slice-ms N] [--gantt]
-//!                 [--lenient]
+//!                 [--lenient] [--self-profile] [--self-export DIR]
 //!     Offline analysis: characterize logs shipped from a monitored run.
 //!     With `--lenient`, degraded logs (out-of-order, truncated, gappy
 //!     monitoring) are repaired and the repairs reported instead of
-//!     aborting the analysis.
+//!     aborting the analysis. `--self-profile` works here too — including
+//!     on a previously exported self-trace, turning the profiler on the
+//!     profiler profiling itself.
 //! ```
 
 use std::collections::HashMap;
@@ -31,15 +38,24 @@ use std::fs::File;
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
 
-use grade10::cluster::{FaultClass, FaultPlan};
+use grade10::cluster::{FaultClass, FaultPlan, SimDuration};
 use grade10::core::critical_path::critical_path;
 use grade10::core::model::ModelBundle;
+use grade10::core::obs;
 use grade10::core::parse::{build_execution_trace, read_events_json};
-use grade10::core::pipeline::{characterize, characterize_ingested, CharacterizationConfig};
-use grade10::core::report::{ingest_table, machine_table, render_gantt, render_html_report, usage_table, GanttConfig, HtmlConfig};
+use grade10::core::pipeline::{
+    characterize, characterize_ingested, characterize_meta, CharacterizationConfig,
+    MetaCharacterization,
+};
+use grade10::core::report::{ingest_table, machine_table, render_gantt, render_html_report, self_profile_table, usage_table, GanttConfig, HtmlConfig};
 use grade10::core::trace::{
     ingest, ExecutionTrace, IngestConfig, IngestMode, RawSeries, ResourceTrace, MILLIS,
 };
+
+/// Count heap allocations per thread so `--self-profile` span records can
+/// report them; free when no recording session is active.
+#[global_allocator]
+static ALLOC: obs::CountingAlloc = obs::CountingAlloc;
 use grade10::engines::gas::GasConfig;
 use grade10::engines::models::{
     gas_model, gas_resource_model, gas_rules_tuned, pregel_model, pregel_resource_model,
@@ -68,10 +84,11 @@ const USAGE: &str = "usage:
                [--work-profile] [--export-logs DIR] [--html FILE]
                [--inject clock-skew|reorder|drop|duplicate|truncate|monitoring|all[,..]]
                [--fault-seed N] [--lenient]
+               [--self-profile] [--self-export DIR]
   grade10 export-model --engine giraph|powergraph [-o FILE]
   grade10 analyze --model BUNDLE.json --events EVENTS.jsonl
                   --resources RESOURCES.json [--slice-ms N] [--gantt]
-                  [--lenient]";
+                  [--lenient] [--self-profile] [--self-export DIR]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let (cmd, rest) = args.split_first().ok_or("no command given")?;
@@ -86,7 +103,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
 /// Parses `--key value` pairs plus bare `--switch` flags.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
-    const SWITCHES: &[&str] = &["--gantt", "--work-profile", "--lenient"];
+    const SWITCHES: &[&str] = &["--gantt", "--work-profile", "--lenient", "--self-profile"];
     let mut out = HashMap::new();
     let mut i = 0;
     while i < args.len() {
@@ -190,10 +207,12 @@ fn demo(flags: &HashMap<String, String>) -> Result<(), String> {
         let events = grade10::engines::bridge::to_raw_events(&logs);
         let monitoring = grade10::engines::bridge::to_raw_series(&series, 8);
         let cfg = characterization_config(flags, 10);
+        let profiler = SelfProfiler::from_flags(flags);
         let input = ingest(&run.model, &events, &monitoring, &cfg.ingest)
             .map_err(|e| ingest_error(&e))?;
         let result = characterize_ingested(&run.model, &run.rules_tuned, &input, &cfg);
         print_characterization(&run.model, &input.trace, &result, flags.contains_key("--gantt"));
+        profiler.finish(flags)?;
         if let Some(path) = flags.get("--html") {
             write_html(&run.model, &input.trace, &result, &spec.name(), path)?;
         }
@@ -201,6 +220,7 @@ fn demo(flags: &HashMap<String, String>) -> Result<(), String> {
     }
 
     let resources = run.resource_trace(8);
+    let profiler = SelfProfiler::from_flags(flags);
     let result = characterize(
         &run.model,
         &run.rules_tuned,
@@ -209,6 +229,7 @@ fn demo(flags: &HashMap<String, String>) -> Result<(), String> {
         &CharacterizationConfig::default(),
     );
     print_characterization(&run.model, &run.trace, &result, flags.contains_key("--gantt"));
+    profiler.finish(flags)?;
     if let Some(path) = flags.get("--html") {
         write_html(&run.model, &run.trace, &result, &spec.name(), path)?;
     }
@@ -322,8 +343,10 @@ fn demo_spark(
     let events = grade10::engines::bridge::to_raw_events(&out.logs);
     let trace = build_execution_trace(&model, &events)?;
     let resources = grade10::engines::bridge::to_resource_trace(&out.series, 8);
+    let profiler = SelfProfiler::from_flags(flags);
     let result = characterize(&model, &rules, &trace, &resources, &CharacterizationConfig::default());
     print_characterization(&model, &trace, &result, flags.contains_key("--gantt"));
+    profiler.finish(flags)?;
     Ok(())
 }
 
@@ -428,6 +451,7 @@ fn analyze(flags: &HashMap<String, String>) -> Result<(), String> {
     // classified error, `--lenient` repairs it and reports the repairs.
     let monitoring = RawSeries::from_trace(&resources);
     let cfg = characterization_config(flags, slice_ms);
+    let profiler = SelfProfiler::from_flags(flags);
     let input = ingest(&bundle.execution, &events, &monitoring, &cfg.ingest)
         .map_err(|e| ingest_error(&e))?;
     let result = characterize_ingested(&bundle.execution, &bundle.rules, &input, &cfg);
@@ -443,11 +467,95 @@ fn analyze(flags: &HashMap<String, String>) -> Result<(), String> {
         &result,
         flags.contains_key("--gantt"),
     );
+    profiler.finish(flags)?;
     Ok(())
 }
 
 fn open(path: &str) -> Result<File, String> {
     File::open(path).map_err(|e| format!("open {path}: {e}"))
+}
+
+/// Records the pipeline's own execution when `--self-profile` is set.
+/// Create before the characterization runs, [`finish`](SelfProfiler::finish)
+/// after the normal report printed.
+struct SelfProfiler {
+    recording: Option<obs::Recording>,
+}
+
+impl SelfProfiler {
+    fn from_flags(flags: &HashMap<String, String>) -> Self {
+        SelfProfiler {
+            recording: flags.contains_key("--self-profile").then(obs::start),
+        }
+    }
+
+    /// Characterizes the recorded meta-trace, prints the self-profile
+    /// tables and optionally exports the meta-trace for offline analysis.
+    /// A no-op without `--self-profile`.
+    fn finish(self, flags: &HashMap<String, String>) -> Result<(), String> {
+        let Some(recording) = self.recording else {
+            return Ok(());
+        };
+        let raw = recording.finish();
+        let meta = characterize_meta(&raw)
+            .map_err(|e| format!("self-characterization failed: {e}"))?;
+        print_self_profile(&meta);
+        if let Some(dir) = flags.get("--self-export") {
+            export_self_trace(&meta, dir)?;
+        }
+        Ok(())
+    }
+}
+
+/// Prints Grade10's characterization of its own pipeline run.
+fn print_self_profile(meta: &MetaCharacterization) {
+    println!("\nself-profile: the pipeline characterized by itself");
+    println!(
+        "  {} spans on {} recorder threads over {}",
+        meta.raw.spans.len(),
+        meta.raw.num_threads(),
+        SimDuration::from_nanos(meta.raw.end)
+    );
+    println!("\npipeline stage profile:");
+    print!("{}", self_profile_table(meta).render());
+    println!("\nrecorder-thread utilization:");
+    print!("{}", machine_table(&meta.result.profile).render());
+    println!("\npipeline bottlenecks, most impactful first:");
+    if meta.result.issues.is_empty() {
+        println!("  (none above threshold)");
+    }
+    for line in meta.result.summary(&meta.model) {
+        println!("  - {line}");
+    }
+}
+
+/// Writes the meta-trace in the offline-analysis formats (`model.json`,
+/// `events.jsonl`, `resources.json`) so `grade10 analyze` can round-trip
+/// the pipeline's characterization of itself.
+fn export_self_trace(meta: &MetaCharacterization, dir: &str) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+    let model_path = format!("{dir}/model.json");
+    std::fs::write(&model_path, obs::meta_bundle().to_json())
+        .map_err(|e| format!("write {model_path}: {e}"))?;
+    let events_path = format!("{dir}/events.jsonl");
+    let f = File::create(&events_path).map_err(|e| format!("create {events_path}: {e}"))?;
+    grade10::core::parse::write_events_json(&meta.events, f)
+        .map_err(|e| format!("write {events_path}: {e}"))?;
+    let mut rt = ResourceTrace::new();
+    for s in &meta.series {
+        let idx = rt.add_resource(s.instance.clone());
+        for &m in &s.measurements {
+            rt.add_measurement(idx, m);
+        }
+    }
+    let resources_path = format!("{dir}/resources.json");
+    let f = File::create(&resources_path).map_err(|e| format!("create {resources_path}: {e}"))?;
+    serde_json::to_writer(f, &rt).map_err(|e| format!("write {resources_path}: {e}"))?;
+    eprintln!(
+        "exported self-trace; round-trip it with:\n  grade10 analyze --model {model_path} \
+         --events {events_path} --resources {resources_path} --slice-ms 1"
+    );
+    Ok(())
 }
 
 fn print_characterization(
@@ -456,6 +564,8 @@ fn print_characterization(
     result: &grade10::core::pipeline::Characterization,
     gantt: bool,
 ) {
+    // Under --self-profile the rendering work is itself a pipeline stage.
+    let _span = obs::span(obs::Stage::Report);
     if !result.ingest.is_clean() {
         println!("ingestion repaired a degraded input:");
         print!("{}", ingest_table(&result.ingest).render());

@@ -1,0 +1,132 @@
+//! Determinism regression: the characterization must be byte-identical
+//! regardless of how many threads the upsampling stage fans out over.
+//!
+//! `build_profile` writes each resource row from exactly one worker, so the
+//! parallel and sequential paths perform the identical float operations in
+//! the identical order per row. `GRADE10_THREADS` pins the fan-out width;
+//! this test forces 1 and 4 and diffs an exhaustive dump of everything the
+//! pipeline produced. Lives in its own integration-test binary because the
+//! env var is process-global.
+
+use std::fmt::Write as _;
+
+use grade10::core::attribution::Parallelism;
+use grade10::core::model::{AttributionRule, ExecutionModelBuilder, Repeat, RuleSet};
+use grade10::core::pipeline::{characterize, Characterization, CharacterizationConfig};
+use grade10::core::trace::{ExecutionTrace, ResourceInstance, ResourceTrace, TraceBuilder, MILLIS};
+use grade10::core::ExecutionModel;
+
+/// A BSP workload over 4 machines × 2 resource kinds = 8 resource rows, so
+/// a 4-thread fan-out genuinely splits the work.
+fn scenario() -> (ExecutionModel, RuleSet, ExecutionTrace, ResourceTrace) {
+    let machines = 4usize;
+    let threads = 4usize;
+    let steps = 6usize;
+    let mut b = ExecutionModelBuilder::new("job");
+    let root = b.root();
+    let step = b.child(root, "step", Repeat::Sequential);
+    let task = b.child(step, "task", Repeat::Parallel);
+    let model = b.build();
+    let rules = RuleSet::new()
+        .rule(task, "cpu", AttributionRule::Variable(1.0))
+        .rule(task, "net", AttributionRule::Exact(0.25));
+
+    let mut tb = TraceBuilder::new(&model);
+    let step_ms = 50u64;
+    let total = steps as u64 * step_ms;
+    tb.add_phase(&[("job", 0)], 0, total * MILLIS, None, None).unwrap();
+    for s in 0..steps {
+        let t0 = s as u64 * step_ms;
+        tb.add_phase(
+            &[("job", 0), ("step", s as u32)],
+            t0 * MILLIS,
+            (t0 + step_ms) * MILLIS,
+            None,
+            None,
+        )
+        .unwrap();
+        for t in 0..machines * threads {
+            let d = step_ms - (t as u64 * 7 + s as u64 * 3) % 23;
+            tb.add_phase(
+                &[("job", 0), ("step", s as u32), ("task", t as u32)],
+                t0 * MILLIS,
+                (t0 + d) * MILLIS,
+                Some((t / threads) as u16),
+                Some((t % threads) as u16),
+            )
+            .unwrap();
+        }
+    }
+    let trace = tb.build().unwrap();
+
+    let mut rt = ResourceTrace::new();
+    for m in 0..machines {
+        for (kind, cap) in [("cpu", 4.0f64), ("net", 1.0)] {
+            let idx = rt.add_resource(ResourceInstance {
+                kind: kind.into(),
+                machine: Some(m as u16),
+                capacity: cap,
+            });
+            let samples: Vec<f64> = (0..total / 25)
+                .map(|i| cap * 0.2 + (((i + m as u64) % 5) as f64) * cap * 0.15)
+                .collect();
+            rt.add_series(idx, 0, 25 * MILLIS, &samples);
+        }
+    }
+    (model, rules, trace, rt)
+}
+
+/// Exhaustive textual dump of a characterization: every float the pipeline
+/// produced, via Debug formatting (which round-trips f64 exactly), plus the
+/// derived bottleneck/issue summary.
+fn dump(c: &Characterization, model: &ExecutionModel) -> String {
+    let p = &c.profile;
+    let mut s = String::new();
+    writeln!(s, "slices={} resources={:?}", p.grid.num_slices(), p.resources).unwrap();
+    writeln!(s, "consumption={:?}", p.consumption).unwrap();
+    writeln!(s, "demand_exact={:?}", p.demand_exact).unwrap();
+    writeln!(s, "demand_variable={:?}", p.demand_variable).unwrap();
+    writeln!(s, "unattributed={:?}", p.unattributed).unwrap();
+    writeln!(s, "overflow={:?}", p.overflow).unwrap();
+    writeln!(s, "estimated={:?}", p.estimated).unwrap();
+    for u in &p.usages {
+        writeln!(s, "usage={u:?}").unwrap();
+    }
+    writeln!(s, "makespan={}", c.base_makespan).unwrap();
+    for line in c.summary(model) {
+        writeln!(s, "issue={line}").unwrap();
+    }
+    s
+}
+
+#[test]
+fn characterization_is_identical_across_thread_counts() {
+    let (model, rules, trace, rt) = scenario();
+    let mut cfg = CharacterizationConfig::default();
+    cfg.profile.parallelism = Parallelism::Always;
+
+    let run_with = |threads: Option<&str>| {
+        match threads {
+            Some(n) => std::env::set_var("GRADE10_THREADS", n),
+            None => std::env::remove_var("GRADE10_THREADS"),
+        }
+        let out = dump(&characterize(&model, &rules, &trace, &rt, &cfg), &model);
+        std::env::remove_var("GRADE10_THREADS");
+        out
+    };
+
+    let one = run_with(Some("1"));
+    let four = run_with(Some("4"));
+    assert!(one.contains("usage="), "dump looks empty:\n{one}");
+    assert_eq!(one, four, "1-thread and 4-thread runs diverged");
+
+    // The sequential path must agree bit-for-bit too.
+    let mut seq_cfg = cfg.clone();
+    seq_cfg.profile.parallelism = Parallelism::Never;
+    let seq = dump(&characterize(&model, &rules, &trace, &rt, &seq_cfg), &model);
+    assert_eq!(one, seq, "parallel and sequential runs diverged");
+
+    // And the whole thing is reproducible run to run.
+    let again = run_with(Some("4"));
+    assert_eq!(four, again, "same-config runs diverged");
+}

@@ -1,0 +1,151 @@
+//! Self-characterization acceptance: when Grade10 profiles its own
+//! pipeline, the CPU it attributes to its stages must account for the
+//! recorded run — the meta-characterization is held to the same
+//! conservation standard as any characterization.
+
+use grade10::core::attribution::Parallelism;
+use grade10::core::model::{AttributionRule, ExecutionModelBuilder, Repeat, RuleSet};
+use grade10::core::obs::Stage;
+use grade10::core::pipeline::{characterize_self, CharacterizationConfig};
+use grade10::core::report::{self_profile_table, usage_by_type};
+use grade10::core::trace::{ExecutionTrace, ResourceInstance, ResourceTrace, TraceBuilder, MILLIS};
+use grade10::core::ExecutionModel;
+
+/// A BSP workload big enough that the pipeline runs for tens of
+/// milliseconds — per-stage work must dominate the nanosecond-scale gaps
+/// between stage spans for the 5% accounting check to be meaningful.
+fn workload(steps: usize) -> (ExecutionModel, RuleSet, ExecutionTrace, ResourceTrace) {
+    let machines = 4usize;
+    let threads = 8usize;
+    let mut b = ExecutionModelBuilder::new("job");
+    let root = b.root();
+    let step = b.child(root, "step", Repeat::Sequential);
+    let task = b.child(step, "task", Repeat::Parallel);
+    let model = b.build();
+    let rules = RuleSet::new().rule(task, "cpu", AttributionRule::Variable(1.0));
+
+    let mut tb = TraceBuilder::new(&model);
+    let step_ms = 100u64;
+    let total = steps as u64 * step_ms;
+    tb.add_phase(&[("job", 0)], 0, total * MILLIS, None, None).unwrap();
+    for s in 0..steps {
+        let t0 = s as u64 * step_ms;
+        tb.add_phase(
+            &[("job", 0), ("step", s as u32)],
+            t0 * MILLIS,
+            (t0 + step_ms) * MILLIS,
+            None,
+            None,
+        )
+        .unwrap();
+        for t in 0..machines * threads {
+            let d = step_ms - (t as u64 % 7) * 5;
+            tb.add_phase(
+                &[("job", 0), ("step", s as u32), ("task", t as u32)],
+                t0 * MILLIS,
+                (t0 + d) * MILLIS,
+                Some((t / threads) as u16),
+                Some((t % threads) as u16),
+            )
+            .unwrap();
+        }
+    }
+    let trace = tb.build().unwrap();
+
+    let mut rt = ResourceTrace::new();
+    for m in 0..machines {
+        let cpu = rt.add_resource(ResourceInstance {
+            kind: "cpu".into(),
+            machine: Some(m as u16),
+            capacity: 8.0,
+        });
+        let samples: Vec<f64> = (0..total / 400).map(|i| 4.0 + (i % 4) as f64).collect();
+        rt.add_series(cpu, 0, 400 * MILLIS, &samples);
+    }
+    (model, rules, trace, rt)
+}
+
+#[test]
+fn attributed_stage_cpu_accounts_for_recorded_wall_time() {
+    let (model, rules, trace, rt) = workload(150);
+    // Single-threaded pipeline: every stage runs on the recorder thread, so
+    // attributed CPU-seconds are directly comparable to wall-clock time.
+    let mut cfg = CharacterizationConfig::default();
+    cfg.profile.parallelism = Parallelism::Never;
+
+    let sc = characterize_self(&model, &rules, &trace, &rt, &cfg).expect("self-characterization");
+    let meta = &sc.meta;
+
+    // The recorder emits strict-clean streams by construction.
+    assert!(
+        meta.result.ingest.is_clean(),
+        "meta ingestion repaired something: {:?}",
+        meta.result.ingest
+    );
+
+    // The single-threaded pipeline stages all ran; no worker spans.
+    let stages_seen: Vec<Stage> = Stage::ALL
+        .into_iter()
+        .filter(|&s| meta.raw.spans.iter().any(|sp| sp.stage == s))
+        .collect();
+    for want in [
+        Stage::Demand,
+        Stage::Upsample,
+        Stage::Attribute,
+        Stage::Bottleneck,
+        Stage::Report,
+    ] {
+        assert!(stages_seen.contains(&want), "stage {want:?} not recorded");
+    }
+    assert!(
+        !stages_seen.contains(&Stage::Worker),
+        "worker spans recorded despite Parallelism::Never"
+    );
+
+    // Acceptance criterion: attributed CPU per stage sums to within 5% of
+    // the total recorded pipeline wall time.
+    let usage = usage_by_type(&meta.result.profile, &meta.trace);
+    let total_cpu: f64 = Stage::ALL
+        .iter()
+        .filter_map(|s| meta.model.find_by_name(s.name()))
+        .filter_map(|ty| usage.get(&(ty, "cpu".to_string())))
+        .sum();
+    let wall_secs = meta.raw.end as f64 / 1e9;
+    assert!(wall_secs > 0.0, "empty recording");
+    let rel = (total_cpu - wall_secs).abs() / wall_secs;
+    assert!(
+        rel <= 0.05,
+        "attributed stage CPU {total_cpu:.6}s vs recorded wall {wall_secs:.6}s \
+         ({:.2}% apart, budget 5%)",
+        rel * 100.0
+    );
+
+    // The report table renders one row per recorded stage plus a total.
+    let table = self_profile_table(meta);
+    let rendered = table.render();
+    assert!(rendered.contains("total"), "{rendered}");
+    assert_eq!(table.len(), stages_seen.len() + 1, "{rendered}");
+
+    // The subject characterization is unaffected by being recorded: its
+    // summary matches a plain run's.
+    let plain = grade10::core::pipeline::characterize(&model, &rules, &trace, &rt, &cfg);
+    assert_eq!(sc.summary, plain.summary(&model));
+}
+
+#[test]
+fn worker_spans_appear_under_parallel_upsampling() {
+    let (model, rules, trace, rt) = workload(40);
+    let mut cfg = CharacterizationConfig::default();
+    cfg.profile.parallelism = Parallelism::Always;
+
+    let sc = characterize_self(&model, &rules, &trace, &rt, &cfg).expect("self-characterization");
+    let meta = &sc.meta;
+    assert!(
+        meta.raw.spans.iter().any(|s| s.stage == Stage::Worker),
+        "no worker spans recorded under Parallelism::Always"
+    );
+    // Worker spans live on their own recorder threads.
+    assert!(meta.raw.num_threads() > 1, "workers share the main thread");
+    // Strict meta ingestion still passes with nested worker phases.
+    assert!(meta.result.ingest.is_clean());
+}
