@@ -28,6 +28,8 @@ const TAG_DROP: u64 = 0x5157_4b45_0000_0003;
 const TAG_DUP: u64 = 0x5157_4b45_0000_0004;
 const TAG_TRUNC: u64 = 0x5157_4b45_0000_0005;
 const TAG_MON: u64 = 0x5157_4b45_0000_0006;
+const TAG_MISSING: u64 = 0x5157_4b45_0000_0007;
+const TAG_BOMB: u64 = 0x5157_4b45_0000_0008;
 
 /// Per-machine constant clock offset, as if machines disagreed by up to
 /// `max_skew` (NTP drift). Breaks cross-machine timestamp monotonicity.
@@ -80,6 +82,28 @@ pub struct MonitoringFault {
     pub negative_fraction: f64,
 }
 
+/// One machine's log stream is lost entirely (dead log shipper) while its
+/// monitoring daemon keeps reporting: the supervised ingestion path should
+/// degrade that machine to monitoring-only coverage, not fail the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MachineMissingFault {
+    /// Number of victim machines to silence (clamped to the cluster size
+    /// minus one, so at least one machine keeps logging).
+    pub victims: u16,
+}
+
+/// A single corrupted timestamp far in the future (a "clock bomb"): one
+/// log record's time is multiplied by `factor`, and one monitoring series'
+/// sampling interval is inflated the same way. Lenient ingestion survives
+/// both, but the bombed timestamps would inflate the timeslice grid by
+/// orders of magnitude — this is the fault the supervision budget guard
+/// and monitoring quarantine exist for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimestampBombFault {
+    /// Multiplier applied to the victim timestamp / interval.
+    pub factor: u64,
+}
+
 /// The fault classes the harness can inject, for CLI flags and sweeps.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FaultClass {
@@ -95,11 +119,31 @@ pub enum FaultClass {
     Truncate,
     /// Missing / negative monitoring samples.
     Monitoring,
+    /// One machine's log stream lost entirely (monitoring survives).
+    MachineMissing,
+    /// A single far-future timestamp in logs and monitoring.
+    TimestampBomb,
 }
 
 impl FaultClass {
     /// All classes, in a fixed order.
-    pub const ALL: [FaultClass; 6] = [
+    pub const ALL: [FaultClass; 8] = [
+        FaultClass::ClockSkew,
+        FaultClass::Reorder,
+        FaultClass::Drop,
+        FaultClass::Duplicate,
+        FaultClass::Truncate,
+        FaultClass::Monitoring,
+        FaultClass::MachineMissing,
+        FaultClass::TimestampBomb,
+    ];
+
+    /// The record-level stream-damage classes lenient ingestion repairs on
+    /// its own: everything except [`MachineMissing`](Self::MachineMissing)
+    /// and [`TimestampBomb`](Self::TimestampBomb), which need the
+    /// supervision layer (coverage accounting, budget guard, quarantine)
+    /// to handle gracefully.
+    pub const STREAM_DAMAGE: [FaultClass; 6] = [
         FaultClass::ClockSkew,
         FaultClass::Reorder,
         FaultClass::Drop,
@@ -117,6 +161,8 @@ impl FaultClass {
             FaultClass::Duplicate => "duplicate",
             FaultClass::Truncate => "truncate",
             FaultClass::Monitoring => "monitoring",
+            FaultClass::MachineMissing => "machine-missing",
+            FaultClass::TimestampBomb => "timestamp-bomb",
         }
     }
 
@@ -147,6 +193,10 @@ pub struct FaultPlan {
     pub truncate: Option<TruncateFault>,
     /// Monitoring corruption.
     pub monitoring: Option<MonitoringFault>,
+    /// Dead log shipper on one machine.
+    pub machine_missing: Option<MachineMissingFault>,
+    /// Far-future timestamp bomb.
+    pub timestamp_bomb: Option<TimestampBombFault>,
 }
 
 impl FaultPlan {
@@ -165,8 +215,21 @@ impl FaultPlan {
         p
     }
 
-    /// Enables every fault class at its default severity.
+    /// Enables every *stream-damage* class at its default severity (see
+    /// [`FaultClass::STREAM_DAMAGE`]): the damage lenient ingestion can
+    /// repair end to end. For the full hostile set including machine loss
+    /// and timestamp bombs, use [`FaultPlan::hostile`].
     pub fn all(seed: u64) -> FaultPlan {
+        let mut p = FaultPlan::clean(seed);
+        for c in FaultClass::STREAM_DAMAGE {
+            p.enable(c);
+        }
+        p
+    }
+
+    /// Enables every fault class, including the ones only the supervised
+    /// pipeline handles gracefully (machine loss, timestamp bombs).
+    pub fn hostile(seed: u64) -> FaultPlan {
         let mut p = FaultPlan::clean(seed);
         for c in FaultClass::ALL {
             p.enable(c);
@@ -199,6 +262,15 @@ impl FaultPlan {
                     negative_fraction: 0.05,
                 })
             }
+            FaultClass::MachineMissing => {
+                self.machine_missing = Some(MachineMissingFault { victims: 1 })
+            }
+            FaultClass::TimestampBomb => {
+                // Large enough that even a bomb landing on an early record
+                // pushes the trace end orders of magnitude past the grid
+                // budget — the guard, not luck, must absorb it.
+                self.timestamp_bomb = Some(TimestampBombFault { factor: 100_000 })
+            }
         }
         self
     }
@@ -223,6 +295,12 @@ impl FaultPlan {
         }
         if self.monitoring.is_some() {
             out.push(FaultClass::Monitoring);
+        }
+        if self.machine_missing.is_some() {
+            out.push(FaultClass::MachineMissing);
+        }
+        if self.timestamp_bomb.is_some() {
+            out.push(FaultClass::TimestampBomb);
         }
         out
     }
@@ -309,6 +387,45 @@ impl FaultPlan {
             }
         }
 
+        if let Some(f) = &self.machine_missing {
+            let machines = out.iter().map(|r| r.machine as u64 + 1).max().unwrap_or(0);
+            if machines > 1 {
+                let victims = (f.victims as u64).min(machines - 1);
+                let mut rng = self.stream(TAG_MISSING);
+                let first = rng.gen_range(0..machines);
+                // Consecutive victims (mod cluster size): one draw, any count.
+                let silenced: Vec<u16> =
+                    (0..victims).map(|i| ((first + i) % machines) as u16).collect();
+                out.retain(|r| !silenced.contains(&r.machine));
+            }
+        }
+
+        if let Some(f) = &self.timestamp_bomb {
+            // Bomb a *phase* record from the first half of the stream: a
+            // bombed phase timestamp stretches the reconstructed trace (and
+            // with it the timeslice grid) by `factor`, which is the failure
+            // mode the supervision budget guard exists for. Block records
+            // only stretch blocked intervals, not the makespan.
+            let phase_idx: Vec<usize> = out
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| {
+                    matches!(
+                        r.event,
+                        crate::logging::LogEvent::PhaseStart { .. }
+                            | crate::logging::LogEvent::PhaseEnd { .. }
+                    )
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if !phase_idx.is_empty() {
+                let mut rng = self.stream(TAG_BOMB);
+                let pick = rng.gen_range(0..(phase_idx.len() / 2).max(1));
+                let t = &mut out[phase_idx[pick]].time;
+                *t = SimTime(t.0.max(1).saturating_mul(f.factor.max(2)));
+            }
+        }
+
         out
     }
 
@@ -349,6 +466,21 @@ impl FaultPlan {
                     let kept = (cut / s.interval.as_nanos().max(1)) as usize;
                     s.samples.truncate(kept.min(s.samples.len()));
                 }
+            }
+        }
+
+        // MachineMissing deliberately leaves monitoring alone: the victim's
+        // monitoring daemon outlives its log shipper.
+
+        if let Some(f) = &self.timestamp_bomb {
+            if !out.is_empty() {
+                let mut rng = self.stream(TAG_BOMB);
+                // One series reports with a wildly inflated interval, as if
+                // its collector misread its own clock: every window in the
+                // series becomes implausibly long.
+                let idx = rng.gen_range(0..out.len());
+                let s = &mut out[idx];
+                s.interval = SimDuration(s.interval.as_nanos().saturating_mul(f.factor.max(2)));
             }
         }
 
@@ -517,6 +649,58 @@ mod tests {
         let survived_both: Vec<(u16, u16)> = both.iter().map(|r| (r.machine, r.thread)).collect();
         assert_eq!(survived_only.len(), survived_both.len());
         assert_eq!(survived_only, survived_both);
+    }
+
+    #[test]
+    fn machine_missing_silences_logs_but_not_monitoring() {
+        let plan = FaultPlan::single(FaultClass::MachineMissing, 13);
+        let logs = plan.inject_logs(&sample_logs());
+        let series = plan.inject_series(&sample_series());
+        let silenced: Vec<u16> = (0..3u16)
+            .filter(|m| !logs.iter().any(|r| r.machine == *m))
+            .collect();
+        assert_eq!(silenced.len(), 1, "exactly one machine loses its logs");
+        // Its monitoring is untouched.
+        assert_eq!(series, sample_series());
+        // And the survivors' logs are untouched.
+        assert_eq!(
+            logs.len(),
+            sample_logs()
+                .iter()
+                .filter(|r| r.machine != silenced[0])
+                .count()
+        );
+    }
+
+    #[test]
+    fn timestamp_bomb_inflates_one_record_and_one_interval() {
+        let plan = FaultPlan::single(FaultClass::TimestampBomb, 17);
+        let logs = plan.inject_logs(&sample_logs());
+        let bombed: Vec<&LogRecord> = logs
+            .iter()
+            .filter(|r| !sample_logs().contains(r))
+            .collect();
+        assert_eq!(bombed.len(), 1, "exactly one record is bombed");
+        // The bombed record (time ×1000) lands far past the clean stream.
+        let max_clean = sample_logs().iter().map(|r| r.time.0).max().unwrap();
+        assert!(bombed[0].time.0 > max_clean);
+
+        let series = plan.inject_series(&sample_series());
+        let inflated = series
+            .iter()
+            .filter(|s| s.interval.as_nanos() > SimDuration::from_millis(10).as_nanos())
+            .count();
+        assert_eq!(inflated, 1, "exactly one series' interval is inflated");
+    }
+
+    #[test]
+    fn hostile_preset_enables_every_class() {
+        assert_eq!(FaultPlan::hostile(1).enabled().len(), FaultClass::ALL.len());
+        // `all` stays the repairable stream-damage preset.
+        assert_eq!(
+            FaultPlan::all(1).enabled(),
+            FaultClass::STREAM_DAMAGE.to_vec()
+        );
     }
 
     #[test]

@@ -51,6 +51,12 @@ pub struct ProfileConfig {
     /// default: with clean input the flag changes nothing, and silence is
     /// the conservative reading of missing data.
     pub estimate_missing: bool,
+    /// Overrides the grid's end time (normally derived from the trace and
+    /// monitoring extents). Supervised execution attributes each machine in
+    /// its own unit and merges the per-machine profiles along the resource
+    /// axis; for the rows to line up, every unit must build over the same
+    /// grid, so the supervisor computes one global end and pins it here.
+    pub grid_end: Option<Nanos>,
 }
 
 impl Default for ProfileConfig {
@@ -60,6 +66,7 @@ impl Default for ProfileConfig {
             upsample: UpsampleMode::DemandGuided,
             parallelism: Parallelism::Auto,
             estimate_missing: false,
+            grid_end: None,
         }
     }
 }
@@ -104,6 +111,7 @@ impl InstanceUsage {
 
 /// The 3-D performance profile: per phase instance, per resource instance,
 /// per timeslice (§III-D, Figure 2(f)).
+#[derive(Clone, Debug)]
 pub struct PerformanceProfile {
     /// The timeslice grid all arrays are indexed by.
     pub grid: TimesliceGrid,
@@ -231,6 +239,57 @@ impl PerformanceProfile {
         let cap = self.resources[resource.0 as usize].capacity;
         self.consumption[resource.0 as usize][slice] / cap
     }
+
+    /// A profile with no resources over a single-slice grid: the fallback a
+    /// supervised run reports when *every* attribution unit was dropped.
+    /// Downstream consumers see zero resources rather than a crash.
+    pub fn empty(slice: Nanos) -> PerformanceProfile {
+        let slice = slice.max(1);
+        PerformanceProfile {
+            grid: TimesliceGrid::covering(0, slice, slice),
+            resources: Vec::new(),
+            consumption: Vec::new(),
+            demand_exact: Vec::new(),
+            demand_variable: Vec::new(),
+            unattributed: Vec::new(),
+            overflow: Vec::new(),
+            estimated: Vec::new(),
+            usages: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Merges per-machine profiles built over the *same grid* (see
+    /// [`ProfileConfig::grid_end`]) into one profile by concatenating the
+    /// resource axis; instance IDs refer to the shared execution trace, so
+    /// only `ResourceIdx` values are re-based. Returns `None` when `parts`
+    /// is empty; panics if the grids disagree (a supervisor bug, not an
+    /// input problem).
+    pub fn merge(parts: Vec<PerformanceProfile>) -> Option<PerformanceProfile> {
+        let mut parts = parts.into_iter();
+        let mut out = parts.next()?;
+        for p in parts {
+            assert_eq!(
+                (out.grid.num_slices(), out.grid.slice_nanos()),
+                (p.grid.num_slices(), p.grid.slice_nanos()),
+                "merged profiles must share a grid"
+            );
+            let off = out.resources.len() as u32;
+            out.resources.extend(p.resources);
+            out.consumption.extend(p.consumption);
+            out.demand_exact.extend(p.demand_exact);
+            out.demand_variable.extend(p.demand_variable);
+            out.unattributed.extend(p.unattributed);
+            out.overflow.extend(p.overflow);
+            out.estimated.extend(p.estimated);
+            for mut u in p.usages {
+                u.resource = ResourceIdx(u.resource.0 + off);
+                out.index.insert((u.instance, u.resource), out.usages.len());
+                out.usages.push(u);
+            }
+        }
+        Some(out)
+    }
 }
 
 /// Runs the full attribution pipeline (§III-D): demand estimation,
@@ -243,7 +302,10 @@ pub fn build_profile(
     cfg: &ProfileConfig,
 ) -> PerformanceProfile {
     let demand_span = crate::obs::span(crate::obs::Stage::Demand);
-    let end = trace.makespan_end().max(resources.end()).max(cfg.slice);
+    let end = cfg
+        .grid_end
+        .unwrap_or_else(|| trace.makespan_end().max(resources.end()))
+        .max(cfg.slice);
     let grid = TimesliceGrid::covering(0, end, cfg.slice);
     let ns = grid.num_slices();
     let nr = resources.instances().len();

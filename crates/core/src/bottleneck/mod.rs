@@ -23,6 +23,7 @@ use crate::trace::execution::ExecutionTrace;
 use crate::trace::resource::ResourceIdx;
 
 /// Combined bottleneck report for one profile.
+#[derive(Clone, Debug, Default)]
 pub struct BottleneckReport {
     /// Blocked time per (phase instance, blocking resource).
     pub blocking: Vec<BlockingBottleneck>,

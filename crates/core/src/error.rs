@@ -29,6 +29,15 @@ pub enum Grade10Error {
     InvalidMonitoring(String),
     /// A serialized artifact (model bundle, event file) failed to parse.
     Serialization(String),
+    /// A supervised pipeline unit exceeded its wall-clock deadline and was
+    /// abandoned.
+    Deadline(String),
+    /// A requested timeslice grid exceeded the configured slice/allocation
+    /// budget and was rejected before allocating.
+    BudgetExceeded(String),
+    /// A supervised pipeline unit panicked; the panic was captured and the
+    /// rest of the pipeline continued.
+    StagePanicked(String),
 }
 
 impl Grade10Error {
@@ -39,19 +48,27 @@ impl Grade10Error {
             | Grade10Error::ModelMismatch(s)
             | Grade10Error::InvalidTrace(s)
             | Grade10Error::InvalidMonitoring(s)
-            | Grade10Error::Serialization(s) => s,
+            | Grade10Error::Serialization(s)
+            | Grade10Error::Deadline(s)
+            | Grade10Error::BudgetExceeded(s)
+            | Grade10Error::StagePanicked(s) => s,
         }
     }
 
-    /// True when re-ingesting the same inputs under
-    /// [`IngestMode::Lenient`](crate::trace::IngestMode) can repair the
-    /// problem: damaged log streams and monitoring data are recoverable;
-    /// a wrong execution model or an unparseable artifact is not.
+    /// True when re-running the same inputs under degraded settings
+    /// ([`IngestMode::Lenient`](crate::trace::IngestMode) ingestion, a
+    /// coarser timeslice, a supervised retry) can repair or route around
+    /// the problem: damaged log streams, damaged monitoring, and supervised
+    /// unit failures (deadline, budget, panic) are recoverable; a wrong
+    /// execution model or an unparseable artifact is not.
     pub fn is_recoverable(&self) -> bool {
         match self {
             Grade10Error::MalformedLog(_)
             | Grade10Error::InvalidTrace(_)
-            | Grade10Error::InvalidMonitoring(_) => true,
+            | Grade10Error::InvalidMonitoring(_)
+            | Grade10Error::Deadline(_)
+            | Grade10Error::BudgetExceeded(_)
+            | Grade10Error::StagePanicked(_) => true,
             Grade10Error::ModelMismatch(_) | Grade10Error::Serialization(_) => false,
         }
     }
@@ -65,6 +82,9 @@ impl fmt::Display for Grade10Error {
             Grade10Error::InvalidTrace(s) => write!(f, "invalid trace: {s}"),
             Grade10Error::InvalidMonitoring(s) => write!(f, "invalid monitoring: {s}"),
             Grade10Error::Serialization(s) => write!(f, "serialization: {s}"),
+            Grade10Error::Deadline(s) => write!(f, "deadline exceeded: {s}"),
+            Grade10Error::BudgetExceeded(s) => write!(f, "budget exceeded: {s}"),
+            Grade10Error::StagePanicked(s) => write!(f, "stage panicked: {s}"),
         }
     }
 }
@@ -109,6 +129,26 @@ mod tests {
         assert!(Grade10Error::InvalidMonitoring("x".into()).is_recoverable());
         assert!(!Grade10Error::ModelMismatch("x".into()).is_recoverable());
         assert!(!Grade10Error::Serialization("x".into()).is_recoverable());
+        // Supervised unit failures can be retried under degraded settings.
+        assert!(Grade10Error::Deadline("x".into()).is_recoverable());
+        assert!(Grade10Error::BudgetExceeded("x".into()).is_recoverable());
+        assert!(Grade10Error::StagePanicked("x".into()).is_recoverable());
+    }
+
+    #[test]
+    fn supervision_variants_display() {
+        assert_eq!(
+            Grade10Error::Deadline("unit ran 2s".into()).to_string(),
+            "deadline exceeded: unit ran 2s"
+        );
+        assert_eq!(
+            Grade10Error::BudgetExceeded("10M cells".into()).to_string(),
+            "budget exceeded: 10M cells"
+        );
+        assert_eq!(
+            Grade10Error::StagePanicked("index oob".into()).to_string(),
+            "stage panicked: index oob"
+        );
     }
 
     #[test]

@@ -83,6 +83,7 @@ pub mod parse;
 pub mod pipeline;
 pub mod replay;
 pub mod report;
+pub mod supervise;
 pub mod trace;
 
 pub use attribution::{build_profile, PerformanceProfile, ProfileConfig, UpsampleMode};
@@ -92,6 +93,11 @@ pub use pipeline::{
     CharacterizationConfig, MetaCharacterization, SelfCharacterization,
 };
 pub use bottleneck::{BottleneckConfig, BottleneckReport};
+pub use supervise::{
+    characterize_events_supervised, ChaosMode, ChaosPoint, Coverage, Incident, IncidentKind,
+    IncidentOutcome, MachineCoverage, PartialCharacterization, StageCoverage, StageStatus,
+    SuperviseConfig, UnitStatus,
+};
 pub use issues::{IssueConfig, IssueKind, PerformanceIssue};
 pub use model::{AttributionRule, ExecutionModel, ExecutionModelBuilder, Repeat, RuleSet};
 pub use replay::{replay, replay_original, ReplayConfig, ReplayResult};

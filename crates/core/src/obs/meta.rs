@@ -39,6 +39,9 @@ pub fn meta_model() -> (ExecutionModel, RuleSet) {
     let bottleneck = b.child(root, Stage::Bottleneck.name(), Repeat::Sequential);
     let report = b.child(root, Stage::Report.name(), Repeat::Sequential);
     let worker = b.child(upsample, Stage::Worker.name(), Repeat::Parallel);
+    // Incident spans (failed supervised attempts) can appear anywhere in
+    // the run, so the stage is unordered with respect to the others.
+    let incident = b.child(root, Stage::Incident.name(), Repeat::Sequential);
     b.edge(ingest, demand);
     b.edge(demand, upsample);
     b.edge(upsample, attribute);
@@ -47,7 +50,9 @@ pub fn meta_model() -> (ExecutionModel, RuleSet) {
     let model = b.build();
 
     let mut rules = RuleSet::new().with_default(AttributionRule::None);
-    for ty in [ingest, demand, upsample, attribute, bottleneck, report, worker] {
+    for ty in [
+        ingest, demand, upsample, attribute, bottleneck, report, worker, incident,
+    ] {
         rules = rules.rule(ty, META_CPU, AttributionRule::Variable(1.0));
     }
     (model, rules)

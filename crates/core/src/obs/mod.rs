@@ -24,6 +24,6 @@ mod recorder;
 pub use alloc::{snapshot, AllocSnapshot, CountingAlloc};
 pub use meta::{meta_bundle, meta_model, meta_resource_model, META_CPU, META_ROOT};
 pub use recorder::{
-    span, start, worker_handle, MetaTrace, Recording, Span, SpanRecord, Stage, WorkerGuard,
-    WorkerHandle,
+    record_span, session_now, span, start, worker_handle, MetaTrace, Recording, Span, SpanRecord,
+    Stage, WorkerGuard, WorkerHandle,
 };

@@ -35,19 +35,24 @@ pub enum Stage {
     Attribute,
     /// Bottleneck identification, replay simulation and issue detection.
     Bottleneck,
+    /// A supervised unit's failed attempt: the wall-clock time a panicked,
+    /// timed-out, or budget-rejected unit consumed before the supervisor
+    /// gave up on the attempt (recorded retroactively).
+    Incident,
     /// Rendering of human-readable output.
     Report,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 8] = [
         Stage::Ingest,
         Stage::Demand,
         Stage::Upsample,
         Stage::Worker,
         Stage::Attribute,
         Stage::Bottleneck,
+        Stage::Incident,
         Stage::Report,
     ];
 
@@ -60,6 +65,7 @@ impl Stage {
             Stage::Worker => "worker",
             Stage::Attribute => "attribute",
             Stage::Bottleneck => "bottleneck",
+            Stage::Incident => "incident",
             Stage::Report => "report",
         }
     }
@@ -259,6 +265,37 @@ impl Drop for Span {
             }
         });
     }
+}
+
+/// Nanoseconds since the current session's epoch, or `None` when the
+/// calling thread is not recording. Pair with [`record_span`] to stamp a
+/// span retroactively — e.g. the supervisor timing a unit whose worker
+/// died and could not close its own spans.
+pub fn session_now() -> Option<Nanos> {
+    CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|ctx| ctx.session.epoch.elapsed().as_nanos() as Nanos)
+    })
+}
+
+/// Buffers a span with explicit endpoints (from [`session_now`]) on the
+/// current thread's session. A no-op when nothing is recording. Allocation
+/// counters are zero: the spanned work happened elsewhere.
+pub fn record_span(stage: Stage, start: Nanos, end: Nanos) {
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        if let Some(ctx) = c.as_mut() {
+            ctx.buf.push(SpanRecord {
+                stage,
+                thread: ctx.thread,
+                start,
+                end: end.max(start),
+                allocs: 0,
+                alloc_bytes: 0,
+            });
+        }
+    });
 }
 
 /// A cloneable handle that lets a spawned worker thread record into the

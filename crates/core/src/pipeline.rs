@@ -36,6 +36,10 @@ pub struct CharacterizationConfig {
     /// Ingestion strictness used by [`characterize_events`] (ignored by
     /// [`characterize`], which takes already-built traces).
     pub ingest: IngestConfig,
+    /// Supervision knobs (deadlines, retries, budget), honored by
+    /// [`crate::supervise::characterize_events_supervised`]; the
+    /// unsupervised entry points ignore this field.
+    pub supervise: crate::supervise::SuperviseConfig,
 }
 
 /// Everything one characterization run produces.

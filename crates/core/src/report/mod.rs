@@ -3,6 +3,7 @@
 
 pub mod gantt;
 pub mod html;
+pub mod incidents;
 pub mod self_profile;
 pub mod summary;
 pub mod table;
@@ -10,6 +11,7 @@ pub mod timeseries;
 
 pub use gantt::{render_gantt, GanttConfig};
 pub use html::{render_html_report, HtmlConfig};
+pub use incidents::{coverage_table, incident_table};
 pub use self_profile::self_profile_table;
 pub use summary::{blocked_time_table, ingest_table, machine_table, usage_by_type, usage_table};
 pub use table::{eng, pct, secs, Table};

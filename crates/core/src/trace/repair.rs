@@ -93,6 +93,11 @@ pub struct IngestReport {
     /// Monitoring windows that arrived out of order or overlapping and were
     /// re-sorted or dropped.
     pub monitoring_out_of_order: usize,
+    /// Monitoring windows quarantined because their duration or placement
+    /// was implausible (orders of magnitude beyond the stream's typical
+    /// window) — a single skewed timestamp must not inflate the timeslice
+    /// grid.
+    pub monitoring_quarantined: usize,
     /// Interior monitoring gaps filled by linear interpolation.
     pub monitoring_gaps_interpolated: usize,
     /// Timeslices whose consumption was *estimated* from demand because no
@@ -120,6 +125,7 @@ impl IngestReport {
         self.monitoring_invalid
             + self.monitoring_negatives_clamped
             + self.monitoring_out_of_order
+            + self.monitoring_quarantined
             + self.monitoring_gaps_interpolated
     }
 
@@ -179,6 +185,7 @@ impl IngestReport {
         line(self.monitoring_invalid, "invalid monitoring windows dropped");
         line(self.monitoring_negatives_clamped, "negative monitoring samples clamped");
         line(self.monitoring_out_of_order, "out-of-order monitoring windows fixed");
+        line(self.monitoring_quarantined, "implausible monitoring windows quarantined");
         line(self.monitoring_gaps_interpolated, "monitoring gaps interpolated");
         line(self.slices_estimated, "timeslices estimated from demand");
         out
@@ -316,6 +323,20 @@ pub fn validate_event_stream(events: &[RawEvent]) -> Result<(), Grade10Error> {
 /// * per (machine, thread, resource): block starts and ends are re-paired
 ///   in time order, with the same synthesis/drop rules.
 pub fn repair_events(events: &[RawEvent], report: &mut IngestReport) -> Vec<RawEvent> {
+    repair_events_opts(events, true, report)
+}
+
+/// [`repair_events`] with ancestor synthesis switchable off. Supervised
+/// per-machine ingestion repairs each machine's substream separately and
+/// must not synthesize container phases per machine — a shared root would
+/// be reconstructed once per unit, duplicating its start in the merged
+/// stream. The supervisor repairs substreams with `synthesize_ancestors:
+/// false` and runs one global pass over the merged survivors instead.
+pub(crate) fn repair_events_opts(
+    events: &[RawEvent],
+    synthesize_ancestors: bool,
+    report: &mut IngestReport,
+) -> Vec<RawEvent> {
     // 1. Out-of-order count, then a stable sort by time.
     report.out_of_order_fixed += events
         .windows(2)
@@ -459,29 +480,31 @@ pub fn repair_events(events: &[RawEvent], report: &mut IngestReport) -> Vec<RawE
     // 6. Reconstruct lost ancestors: every proper prefix of a surviving
     // path must itself be a phase; a missing one is synthesized spanning
     // the union of its surviving descendants.
-    let have: HashSet<RawPath> = closed.iter().map(|(p, ..)| p.clone()).collect();
-    let mut missing: HashMap<RawPath, (Nanos, Nanos, u16, u16)> = HashMap::new();
-    for (path, start, end, machine, thread) in &closed {
-        for cut in 1..path.len() {
-            let prefix = path[..cut].to_vec();
-            if have.contains(&prefix) {
-                continue;
+    if synthesize_ancestors {
+        let have: HashSet<RawPath> = closed.iter().map(|(p, ..)| p.clone()).collect();
+        let mut missing: HashMap<RawPath, (Nanos, Nanos, u16, u16)> = HashMap::new();
+        for (path, start, end, machine, thread) in &closed {
+            for cut in 1..path.len() {
+                let prefix = path[..cut].to_vec();
+                if have.contains(&prefix) {
+                    continue;
+                }
+                missing
+                    .entry(prefix)
+                    .and_modify(|(s, e, ..)| {
+                        *s = (*s).min(*start);
+                        *e = (*e).max(*end);
+                    })
+                    .or_insert((*start, *end, *machine, *thread));
             }
-            missing
-                .entry(prefix)
-                .and_modify(|(s, e, ..)| {
-                    *s = (*s).min(*start);
-                    *e = (*e).max(*end);
-                })
-                .or_insert((*start, *end, *machine, *thread));
         }
+        report.ancestors_synthesized += missing.len();
+        closed.extend(
+            missing
+                .into_iter()
+                .map(|(path, (s, e, m, t))| (path, s, e, m, t)),
+        );
     }
-    report.ancestors_synthesized += missing.len();
-    closed.extend(
-        missing
-            .into_iter()
-            .map(|(path, (s, e, m, t))| (path, s, e, m, t)),
-    );
 
     // 7. Emit a balanced stream. Tie-breaking at equal timestamps matters
     // because the strict parser keeps arrival order among ties: parents
@@ -572,6 +595,7 @@ pub fn ingest_monitoring(
             }
         }
         IngestMode::Lenient => {
+            let bound = plausibility_bound(series);
             for s in series {
                 if !(s.instance.capacity.is_finite() && s.instance.capacity > 0.0) {
                     // A resource with no believable capacity cannot be
@@ -579,7 +603,7 @@ pub fn ingest_monitoring(
                     report.monitoring_invalid += s.measurements.len();
                     continue;
                 }
-                let repaired = repair_series(&s.measurements, report);
+                let repaired = repair_series(&s.measurements, bound, report);
                 let idx = rt.add_resource(s.instance.clone());
                 for m in repaired {
                     rt.add_measurement(idx, m);
@@ -590,13 +614,54 @@ pub fn ingest_monitoring(
     Ok(rt)
 }
 
-/// Lenient per-series window repair; see [`ingest_monitoring`].
-fn repair_series(measurements: &[Measurement], report: &mut IngestReport) -> Vec<Measurement> {
-    // Drop structurally broken windows, clamp negatives.
+/// How many typical window durations a window (or a gap between windows)
+/// may span before lenient repair quarantines it as timestamp damage. A
+/// clock bomb multiplies a timestamp by orders of magnitude, so a generous
+/// two-orders-of-magnitude margin never fires on organic jitter.
+const QUARANTINE_FACTOR: Nanos = 100;
+
+/// The cross-series sanity bound on window duration and placement:
+/// `median valid window duration × QUARANTINE_FACTOR`, or `None` when no
+/// series carries a structurally valid window.
+///
+/// The median is taken across *all* series, not per series: a bombed export
+/// interval stretches every window of its series equally, so the series'
+/// own statistics look self-consistent — only its peers reveal the damage.
+pub(crate) fn plausibility_bound(series: &[RawSeries]) -> Option<Nanos> {
+    let mut durations: Vec<Nanos> = series
+        .iter()
+        .flat_map(|s| s.measurements.iter())
+        .filter(|m| m.avg.is_finite() && m.end > m.start)
+        .map(|m| m.end - m.start)
+        .collect();
+    if durations.is_empty() {
+        return None;
+    }
+    let mid = durations.len() / 2;
+    let (_, median, _) = durations.select_nth_unstable(mid);
+    (*median).checked_mul(QUARANTINE_FACTOR)
+}
+
+/// Lenient per-series window repair; see [`ingest_monitoring`]. `bound` is
+/// the cross-series plausibility bound from [`plausibility_bound`]: windows
+/// longer than it are quarantined, the series is cut at the first gap wider
+/// than it (everything after a bombed timestamp is untrustworthy), and gaps
+/// wider than it are never bridged by interpolation.
+pub(crate) fn repair_series(
+    measurements: &[Measurement],
+    bound: Option<Nanos>,
+    report: &mut IngestReport,
+) -> Vec<Measurement> {
+    // Drop structurally broken windows, clamp negatives, quarantine
+    // implausibly long windows.
     let mut windows: Vec<Measurement> = Vec::with_capacity(measurements.len());
     for &m in measurements {
         if !m.avg.is_finite() || m.end <= m.start {
             report.monitoring_invalid += 1;
+            continue;
+        }
+        if bound.is_some_and(|b| m.end - m.start > b) {
+            report.monitoring_quarantined += 1;
             continue;
         }
         let mut m = m;
@@ -618,6 +683,18 @@ fn repair_series(measurements: &[Measurement], report: &mut IngestReport) -> Vec
         match kept.last() {
             Some(last) if m.start < last.end => report.monitoring_out_of_order += 1,
             _ => kept.push(m),
+        }
+    }
+    // Quarantine the tail past any implausibly wide gap: a window that sits
+    // orders of magnitude after its predecessor got there via a damaged
+    // timestamp, and keeping it would stretch the timeslice grid to match.
+    if let Some(b) = bound {
+        if let Some(cut) = kept
+            .windows(2)
+            .position(|w| w[1].start - w[0].end > b)
+        {
+            report.monitoring_quarantined += kept.len() - (cut + 1);
+            kept.truncate(cut + 1);
         }
     }
     // Interpolate interior gaps: one synthetic window per gap, its level
@@ -936,6 +1013,79 @@ mod tests {
         let rt = ingest_monitoring(&[s], &cfg, &mut report).unwrap();
         assert!(rt.instances().is_empty());
         assert_eq!(report.monitoring_invalid, 2);
+    }
+
+    #[test]
+    fn lenient_monitoring_quarantines_bombed_window() {
+        // One window whose end timestamp was multiplied by a bomb: its
+        // duration dwarfs the stream's typical 10ms window.
+        let cfg = IngestConfig::lenient();
+        let mut s = series(&[1.0, 2.0, 3.0, 4.0]);
+        s.measurements[1].end = s.measurements[1].start + 10_000_000 * MILLIS;
+        let mut report = IngestReport::default();
+        let rt = ingest_monitoring(&[s], &cfg, &mut report).unwrap();
+        assert_eq!(report.monitoring_quarantined, 1);
+        let idx = rt.find("cpu", Some(0)).unwrap();
+        // The bombed window is gone; its slot becomes an interpolated gap,
+        // and the grid end stays at the organic 40ms.
+        assert_eq!(rt.measurements(idx).len(), 4);
+        assert_eq!(rt.end(), 40 * MILLIS);
+        assert_eq!(report.monitoring_gaps_interpolated, 1);
+    }
+
+    #[test]
+    fn lenient_monitoring_quarantines_bombed_interval_series() {
+        // A whole series exported with a ×1000 interval looks internally
+        // consistent; only the cross-series median reveals it.
+        let cfg = IngestConfig::lenient();
+        let normal_a = series(&[1.0, 2.0, 3.0]);
+        let normal_b = series(&[0.5, 0.5, 0.5]);
+        let mut bombed = series(&[1.0, 2.0, 3.0]);
+        bombed.instance.kind = "network".into();
+        for m in &mut bombed.measurements {
+            m.start *= 1000;
+            m.end *= 1000;
+        }
+        let mut report = IngestReport::default();
+        let rt =
+            ingest_monitoring(&[normal_a, normal_b, bombed], &cfg, &mut report).unwrap();
+        assert_eq!(report.monitoring_quarantined, 3);
+        let idx = rt.find("network", Some(0)).unwrap();
+        assert!(rt.measurements(idx).is_empty());
+        // The healthy series are untouched and the grid stays small.
+        assert_eq!(rt.end(), 30 * MILLIS);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn lenient_monitoring_cuts_tail_after_bombed_gap() {
+        // One bombed *start* pushes a window (and everything after it) far
+        // past the organic end of the stream; the tail is quarantined
+        // rather than bridged by interpolation.
+        let cfg = IngestConfig::lenient();
+        let mut s = series(&[1.0, 2.0, 3.0, 4.0]);
+        for m in &mut s.measurements[2..] {
+            m.start += 10_000_000 * MILLIS;
+            m.end += 10_000_000 * MILLIS;
+        }
+        let mut report = IngestReport::default();
+        let rt = ingest_monitoring(&[s], &cfg, &mut report).unwrap();
+        assert_eq!(report.monitoring_quarantined, 2);
+        assert_eq!(report.monitoring_gaps_interpolated, 0);
+        let idx = rt.find("cpu", Some(0)).unwrap();
+        assert_eq!(rt.measurements(idx).len(), 2);
+        assert_eq!(rt.end(), 20 * MILLIS);
+    }
+
+    #[test]
+    fn clean_monitoring_is_not_quarantined() {
+        let cfg = IngestConfig::lenient();
+        let mut report = IngestReport::default();
+        let rt = ingest_monitoring(&[series(&[1.0, 2.0, 3.0])], &cfg, &mut report).unwrap();
+        assert_eq!(report.monitoring_quarantined, 0);
+        assert!(report.is_clean());
+        let idx = rt.find("cpu", Some(0)).unwrap();
+        assert_eq!(rt.measurements(idx).len(), 3);
     }
 
     #[test]

@@ -6,13 +6,22 @@
 //!              [--dataset rmat:SCALE|social:VERTICES] [--seed N] [--gantt]
 //!              [--work-profile] [--export-logs DIR] [--html FILE]
 //!              [--inject CLASS[,CLASS...]] [--fault-seed N] [--lenient]
+//!              [--partial] [--deadline-ms N] [--max-retries N]
 //!              [--self-profile] [--self-export DIR]
 //!     Run a simulated workload end to end and print the characterization;
 //!     optionally ship the run's logs and monitoring as files that
 //!     `grade10 analyze` (and any other tooling) can consume. `--inject`
 //!     corrupts the collected streams with seeded faults (clock-skew,
-//!     reorder, drop, duplicate, truncate, monitoring, or `all`);
-//!     `--lenient` repairs the damage instead of rejecting it.
+//!     reorder, drop, duplicate, truncate, monitoring, machine-missing,
+//!     timestamp-bomb, `all` for the repairable stream damage, or `hostile`
+//!     for everything); `--lenient` repairs the damage instead of rejecting
+//!     it. `--partial` runs the pipeline *supervised*: per-machine units
+//!     are isolated (panics captured, deadlines enforced, grid budgets
+//!     checked), failures degrade or drop units instead of aborting, and
+//!     the report ends with an incident log and a coverage table.
+//!     `--deadline-ms` bounds each supervised unit's wall-clock time (off
+//!     by default, which keeps the run deterministic); `--max-retries`
+//!     bounds the degradation ladder (default 2).
 //!     `--self-profile` additionally records the pipeline's own execution
 //!     and prints Grade10's characterization of itself; `--self-export DIR`
 //!     dumps that meta-trace (model + events + monitoring) in the offline
@@ -24,14 +33,21 @@
 //!
 //! grade10 analyze --model BUNDLE.json --events EVENTS.jsonl
 //!                 --resources RESOURCES.json [--slice-ms N] [--gantt]
-//!                 [--lenient] [--self-profile] [--self-export DIR]
+//!                 [--lenient] [--partial] [--deadline-ms N]
+//!                 [--max-retries N] [--self-profile] [--self-export DIR]
 //!     Offline analysis: characterize logs shipped from a monitored run.
 //!     With `--lenient`, degraded logs (out-of-order, truncated, gappy
 //!     monitoring) are repaired and the repairs reported instead of
-//!     aborting the analysis. `--self-profile` works here too — including
-//!     on a previously exported self-trace, turning the profiler on the
-//!     profiler profiling itself.
+//!     aborting the analysis; `--partial` supervises the run as in `demo`.
+//!     `--self-profile` works here too — including on a previously
+//!     exported self-trace, turning the profiler on the profiler profiling
+//!     itself.
 //! ```
+//!
+//! Exit codes: `0` — clean characterization; `2` — the supervised pipeline
+//! completed but recorded incidents (the characterization is partial; see
+//! its incidents and coverage tables); `1` — fatal error, no
+//! characterization produced.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -47,7 +63,8 @@ use grade10::core::pipeline::{
     characterize, characterize_ingested, characterize_meta, CharacterizationConfig,
     MetaCharacterization,
 };
-use grade10::core::report::{ingest_table, machine_table, render_gantt, render_html_report, self_profile_table, usage_table, GanttConfig, HtmlConfig};
+use grade10::core::report::{coverage_table, incident_table, ingest_table, machine_table, render_gantt, render_html_report, self_profile_table, usage_table, GanttConfig, HtmlConfig};
+use grade10::core::supervise::{characterize_events_supervised, PartialCharacterization};
 use grade10::core::trace::{
     ingest, ExecutionTrace, IngestConfig, IngestMode, RawSeries, ResourceTrace, MILLIS,
 };
@@ -67,7 +84,8 @@ use grade10::engines::{run_workload, Algorithm, Dataset, EngineKind, WorkloadSpe
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(RunStatus::Clean) => ExitCode::SUCCESS,
+        Ok(RunStatus::Partial) => ExitCode::from(2),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();
@@ -77,20 +95,39 @@ fn main() -> ExitCode {
     }
 }
 
+/// What a completed run reports through the exit code: `Clean` → 0,
+/// `Partial` (supervised run with incidents) → 2. Fatal errors exit 1.
+enum RunStatus {
+    Clean,
+    Partial,
+}
+
 const USAGE: &str = "usage:
   grade10 demo [--engine giraph|powergraph|spark]
                [--algorithm pr|bfs|wcc|cdlp|sssp|lcc]
                [--dataset rmat:SCALE|social:VERTICES] [--seed N] [--gantt]
                [--work-profile] [--export-logs DIR] [--html FILE]
-               [--inject clock-skew|reorder|drop|duplicate|truncate|monitoring|all[,..]]
+               [--inject clock-skew|reorder|drop|duplicate|truncate|monitoring|
+                         machine-missing|timestamp-bomb|all|hostile[,..]]
                [--fault-seed N] [--lenient]
+               [--partial] [--deadline-ms N] [--max-retries N]
                [--self-profile] [--self-export DIR]
   grade10 export-model --engine giraph|powergraph [-o FILE]
   grade10 analyze --model BUNDLE.json --events EVENTS.jsonl
                   --resources RESOURCES.json [--slice-ms N] [--gantt]
-                  [--lenient] [--self-profile] [--self-export DIR]";
+                  [--lenient] [--partial] [--deadline-ms N] [--max-retries N]
+                  [--self-profile] [--self-export DIR]
 
-fn run(args: &[String]) -> Result<(), String> {
+--partial runs the pipeline supervised: panics, deadline overruns, and
+over-budget grids degrade or drop per-machine units instead of aborting,
+and the report ends with incident and coverage tables.
+
+exit codes:
+  0  clean characterization
+  2  partial characterization (supervised run completed with incidents)
+  1  fatal error, no characterization produced";
+
+fn run(args: &[String]) -> Result<RunStatus, String> {
     let (cmd, rest) = args.split_first().ok_or("no command given")?;
     let flags = parse_flags(rest)?;
     match cmd.as_str() {
@@ -103,7 +140,13 @@ fn run(args: &[String]) -> Result<(), String> {
 
 /// Parses `--key value` pairs plus bare `--switch` flags.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
-    const SWITCHES: &[&str] = &["--gantt", "--work-profile", "--lenient", "--self-profile"];
+    const SWITCHES: &[&str] = &[
+        "--gantt",
+        "--work-profile",
+        "--lenient",
+        "--partial",
+        "--self-profile",
+    ];
     let mut out = HashMap::new();
     let mut i = 0;
     while i < args.len() {
@@ -125,7 +168,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(out)
 }
 
-fn demo(flags: &HashMap<String, String>) -> Result<(), String> {
+fn demo(flags: &HashMap<String, String>) -> Result<RunStatus, String> {
     let seed: u64 = flags
         .get("--seed")
         .map(|s| s.parse().map_err(|_| format!("bad seed '{s}'")))
@@ -206,7 +249,18 @@ fn demo(flags: &HashMap<String, String>) -> Result<(), String> {
         let series = plan.inject_series(&run.sim.series);
         let events = grade10::engines::bridge::to_raw_events(&logs);
         let monitoring = grade10::engines::bridge::to_raw_series(&series, 8);
-        let cfg = characterization_config(flags, 10);
+        let cfg = characterization_config(flags, 10)?;
+        if flags.contains_key("--partial") {
+            return supervised(
+                &run.model,
+                &run.rules_tuned,
+                &events,
+                &monitoring,
+                &cfg,
+                flags,
+                &spec.name(),
+            );
+        }
         let profiler = SelfProfiler::from_flags(flags);
         let input = ingest(&run.model, &events, &monitoring, &cfg.ingest)
             .map_err(|e| ingest_error(&e))?;
@@ -216,7 +270,24 @@ fn demo(flags: &HashMap<String, String>) -> Result<(), String> {
         if let Some(path) = flags.get("--html") {
             write_html(&run.model, &input.trace, &result, &spec.name(), path)?;
         }
-        return Ok(());
+        return Ok(RunStatus::Clean);
+    }
+
+    if flags.contains_key("--partial") {
+        // Supervised run over the pristine streams: same entry point as the
+        // degraded path, so incidents/coverage always have the same shape.
+        let events = grade10::engines::bridge::to_raw_events(&run.sim.logs);
+        let monitoring = grade10::engines::bridge::to_raw_series(&run.sim.series, 8);
+        let cfg = characterization_config(flags, 10)?;
+        return supervised(
+            &run.model,
+            &run.rules_tuned,
+            &events,
+            &monitoring,
+            &cfg,
+            flags,
+            &spec.name(),
+        );
     }
 
     let resources = run.resource_trace(8);
@@ -233,15 +304,74 @@ fn demo(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(path) = flags.get("--html") {
         write_html(&run.model, &run.trace, &result, &spec.name(), path)?;
     }
-    Ok(())
+    Ok(RunStatus::Clean)
+}
+
+/// Runs the supervised pipeline over raw collected streams, prints the
+/// characterization plus the incidents and coverage tables, and maps the
+/// outcome to an exit status: `Partial` when any incident was recorded.
+fn supervised(
+    model: &grade10::core::model::ExecutionModel,
+    rules: &grade10::core::model::RuleSet,
+    events: &[grade10::core::parse::RawEvent],
+    monitoring: &[RawSeries],
+    cfg: &CharacterizationConfig,
+    flags: &HashMap<String, String>,
+    title: &str,
+) -> Result<RunStatus, String> {
+    let profiler = SelfProfiler::from_flags(flags);
+    let p = characterize_events_supervised(model, rules, events, monitoring, cfg)
+        .map_err(|e| ingest_error(&e))?;
+    print_characterization(
+        model,
+        &p.trace,
+        &p.characterization,
+        flags.contains_key("--gantt"),
+    );
+    print_supervision(&p);
+    profiler.finish(flags)?;
+    if let Some(path) = flags.get("--html") {
+        write_html(model, &p.trace, &p.characterization, title, path)?;
+    }
+    Ok(if p.is_complete() {
+        RunStatus::Clean
+    } else {
+        RunStatus::Partial
+    })
+}
+
+/// Prints the supervision epilogue: coverage summary, incident table, and
+/// the per-machine / per-stage coverage table.
+fn print_supervision(p: &PartialCharacterization) {
+    println!("\nsupervision summary: {}", p.coverage.summary());
+    if p.incidents.is_empty() {
+        println!("  no incidents");
+    } else {
+        println!("\nincidents:");
+        print!("{}", incident_table(&p.incidents).render());
+    }
+    println!("\ncoverage:");
+    print!("{}", coverage_table(&p.coverage).render());
 }
 
 /// Builds the pipeline config from the shared CLI flags: `--lenient` picks
 /// the ingestion mode and, with it, demand-based estimation of slices whose
-/// monitoring was lost.
-fn characterization_config(flags: &HashMap<String, String>, slice_ms: u64) -> CharacterizationConfig {
+/// monitoring was lost; `--deadline-ms` and `--max-retries` tune the
+/// supervision layer used by `--partial`.
+fn characterization_config(
+    flags: &HashMap<String, String>,
+    slice_ms: u64,
+) -> Result<CharacterizationConfig, String> {
     let lenient = flags.contains_key("--lenient");
-    CharacterizationConfig {
+    let mut supervise = grade10::core::supervise::SuperviseConfig::default();
+    if let Some(s) = flags.get("--deadline-ms") {
+        let ms: u64 = s.parse().map_err(|_| format!("bad deadline '{s}'"))?;
+        supervise.deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(s) = flags.get("--max-retries") {
+        supervise.max_retries = s.parse().map_err(|_| format!("bad retry count '{s}'"))?;
+    }
+    Ok(CharacterizationConfig {
         profile: grade10::core::attribution::ProfileConfig {
             slice: slice_ms * MILLIS,
             estimate_missing: lenient,
@@ -254,8 +384,9 @@ fn characterization_config(flags: &HashMap<String, String>, slice_ms: u64) -> Ch
                 IngestMode::Strict
             },
         },
+        supervise,
         ..Default::default()
-    }
+    })
 }
 
 /// Renders a strict-mode ingestion failure with a pointer to `--lenient`
@@ -280,6 +411,9 @@ fn parse_fault_plan(flags: &HashMap<String, String>) -> Result<Option<FaultPlan>
         .unwrap_or(1);
     if spec == "all" {
         return Ok(Some(FaultPlan::all(seed)));
+    }
+    if spec == "hostile" {
+        return Ok(Some(FaultPlan::hostile(seed)));
     }
     let mut plan = FaultPlan::clean(seed);
     for name in spec.split(',') {
@@ -317,7 +451,7 @@ fn demo_spark(
     dataset: Dataset,
     algorithm: Algorithm,
     flags: &HashMap<String, String>,
-) -> Result<(), String> {
+) -> Result<RunStatus, String> {
     use grade10::engines::dataflow::{
         dataflow_model, dataflow_rules_tuned, run_dataflow, DataflowConfig, JobSpec,
     };
@@ -347,7 +481,7 @@ fn demo_spark(
     let result = characterize(&model, &rules, &trace, &resources, &CharacterizationConfig::default());
     print_characterization(&model, &trace, &result, flags.contains_key("--gantt"));
     profiler.finish(flags)?;
-    Ok(())
+    Ok(RunStatus::Clean)
 }
 
 /// Writes the run's logs and coarse monitoring in the offline-analysis
@@ -385,7 +519,7 @@ fn parse_dataset(spec: &str, seed: u64) -> Result<Dataset, String> {
     }
 }
 
-fn export_model(flags: &HashMap<String, String>) -> Result<(), String> {
+fn export_model(flags: &HashMap<String, String>) -> Result<RunStatus, String> {
     let bundle = match flags
         .get("--engine")
         .ok_or("export-model needs --engine")?
@@ -424,10 +558,10 @@ fn export_model(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         None => println!("{}", bundle.to_json()),
     }
-    Ok(())
+    Ok(RunStatus::Clean)
 }
 
-fn analyze(flags: &HashMap<String, String>) -> Result<(), String> {
+fn analyze(flags: &HashMap<String, String>) -> Result<RunStatus, String> {
     let bundle_path = flags.get("--model").ok_or("analyze needs --model")?;
     let events_path = flags.get("--events").ok_or("analyze needs --events")?;
     let resources_path = flags
@@ -450,7 +584,18 @@ fn analyze(flags: &HashMap<String, String>) -> Result<(), String> {
     // through the ingestion layer: strict mode rejects damage with a
     // classified error, `--lenient` repairs it and reports the repairs.
     let monitoring = RawSeries::from_trace(&resources);
-    let cfg = characterization_config(flags, slice_ms);
+    let cfg = characterization_config(flags, slice_ms)?;
+    if flags.contains_key("--partial") {
+        return supervised(
+            &bundle.execution,
+            &bundle.rules,
+            &events,
+            &monitoring,
+            &cfg,
+            flags,
+            &bundle.framework,
+        );
+    }
     let profiler = SelfProfiler::from_flags(flags);
     let input = ingest(&bundle.execution, &events, &monitoring, &cfg.ingest)
         .map_err(|e| ingest_error(&e))?;
@@ -468,7 +613,7 @@ fn analyze(flags: &HashMap<String, String>) -> Result<(), String> {
         flags.contains_key("--gantt"),
     );
     profiler.finish(flags)?;
-    Ok(())
+    Ok(RunStatus::Clean)
 }
 
 fn open(path: &str) -> Result<File, String> {

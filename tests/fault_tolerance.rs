@@ -1,7 +1,12 @@
-//! End-to-end fault tolerance: every fault class the injection harness can
-//! produce must be rejected by strict ingestion with a classified,
-//! recoverable error — and repaired by lenient ingestion into a complete
-//! characterization whose report accounts for the damage. No panics, ever.
+//! End-to-end fault tolerance: every *stream-damage* fault class must be
+//! rejected by strict ingestion with a classified, recoverable error — and
+//! repaired by lenient ingestion into a complete characterization whose
+//! report accounts for the damage. No panics, ever.
+//!
+//! The hostile classes (`machine-missing`, `timestamp-bomb`) are out of
+//! scope here: they need the supervision layer (coverage accounting, grid
+//! budget guard, monitoring quarantine) and are exercised end to end in
+//! `tests/supervision.rs`.
 
 use grade10::cluster::{FaultClass, FaultPlan};
 use grade10::core::pipeline::{characterize_events, CharacterizationConfig};
@@ -39,7 +44,7 @@ fn config(lenient: bool) -> CharacterizationConfig {
 #[test]
 fn every_fault_class_strict_rejects_and_lenient_repairs() {
     let run = tiny_run();
-    for class in FaultClass::ALL {
+    for class in FaultClass::STREAM_DAMAGE {
         let plan = FaultPlan::single(class, 7);
         let events = to_raw_events(&plan.inject_logs(&run.sim.logs));
         let monitoring = to_raw_series(&plan.inject_series(&run.sim.series), 8);

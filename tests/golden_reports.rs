@@ -17,15 +17,17 @@
 use std::fs;
 use std::path::PathBuf;
 
-use grade10::cluster::FaultPlan;
+use grade10::cluster::{FaultClass, FaultPlan};
 use grade10::core::attribution::Parallelism;
 use grade10::core::obs::{MetaTrace, SpanRecord, Stage};
 use grade10::core::pipeline::{
     characterize_events, characterize_meta, characterize_self, CharacterizationConfig,
 };
 use grade10::core::report::{
-    blocked_time_table, ingest_table, machine_table, self_profile_table, usage_table,
+    blocked_time_table, coverage_table, incident_table, ingest_table, machine_table,
+    self_profile_table, usage_table,
 };
+use grade10::core::supervise::characterize_events_supervised;
 use grade10::core::trace::{ingest_monitoring, IngestConfig, IngestReport, MILLIS};
 use grade10::engines::bridge::{to_raw_events, to_raw_series};
 use grade10::engines::pregel::PregelConfig;
@@ -162,6 +164,37 @@ fn golden_ingest_damage_report() {
 
     let out = ingest_table(&result.ingest).render();
     check_golden("ingest_damage_all_faults.txt", &out);
+}
+
+/// The incidents and coverage tables for the demo run under the hostile
+/// fault pair (machine-missing + timestamp-bomb) in supervised lenient
+/// mode. With no deadline configured every unit runs inline, injection is
+/// seeded, and incident details carry only deterministic counts — so this
+/// compares exactly.
+#[test]
+fn golden_supervision_incident_report() {
+    let run = demo_run();
+    let mut plan = FaultPlan::clean(7);
+    plan.enable(FaultClass::MachineMissing);
+    plan.enable(FaultClass::TimestampBomb);
+    let events = to_raw_events(&plan.inject_logs(&run.sim.logs));
+    let monitoring = to_raw_series(&plan.inject_series(&run.sim.series), 8);
+    let p = characterize_events_supervised(
+        &run.model,
+        &run.rules_tuned,
+        &events,
+        &monitoring,
+        &demo_config(true),
+    )
+    .expect("supervised lenient mode absorbs the hostile faults");
+    assert!(!p.is_complete());
+
+    let mut out = String::new();
+    out.push_str("== incidents ==\n");
+    out.push_str(&incident_table(&p.incidents).render());
+    out.push_str("\n== coverage ==\n");
+    out.push_str(&coverage_table(&p.coverage).render());
+    check_golden("supervision_machine_missing_timestamp_bomb.txt", &out);
 }
 
 /// The self-profile table over a hand-built meta-trace with fixed span

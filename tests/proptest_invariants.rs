@@ -570,15 +570,18 @@ fn quality_score_is_monotone_in_damage_counters() {
     }
 }
 
-/// Adding fault classes (in `FaultClass::ALL` order, same seed) does not
-/// improve the ingest quality score beyond noise: more injected damage,
-/// same or lower trust.
+/// Adding stream-damage fault classes (in `FaultClass::STREAM_DAMAGE`
+/// order, same seed) does not improve the ingest quality score beyond
+/// noise: more injected damage, same or lower trust.
 ///
 /// The comparison carries a small tolerance because the classes interact
 /// through repair: a duplicated block record can *realign* the rank
 /// pairing that earlier drops had shifted, legitimately reducing the
 /// clamp count by a hair. The score is honest about that — it reflects
-/// repairs actually performed, not faults nominally enabled.
+/// repairs actually performed, not faults nominally enabled. The hostile
+/// classes are excluded for the same reason, only more so:
+/// `machine-missing` deletes an entire machine's (damaged) events, which
+/// can legitimately *raise* the score of what remains.
 #[test]
 fn quality_score_is_monotone_in_fault_classes() {
     let run = fault_run();
@@ -590,7 +593,7 @@ fn quality_score_is_monotone_in_fault_classes() {
         let mut plan = FaultPlan::clean(0x5A17_E000 + seed);
         let mut prev = 1.0f64;
         let mut prev_classes = String::from("(clean)");
-        for class in FaultClass::ALL {
+        for class in FaultClass::STREAM_DAMAGE {
             plan.enable(class);
             let events = to_raw_events(&plan.inject_logs(&run.sim.logs));
             let monitoring = to_raw_series(&plan.inject_series(&run.sim.series), 8);
