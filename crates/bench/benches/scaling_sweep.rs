@@ -9,16 +9,24 @@
 //! the classic compute→communication crossover of scaling out a fixed-size
 //! problem.
 
+use std::time::{Duration, Instant};
+
 use grade10_bench::{reduction_for, DEFAULT_DOWNSAMPLE, SLICE_NS};
 use grade10_core::attribution::UpsampleMode;
 use grade10_core::bottleneck::{BottleneckConfig, BottleneckReport};
+use grade10_core::config::Parallelism;
 use grade10_core::issues::{detect_bottleneck_issues, IssueConfig};
+use grade10_core::pipeline::CharacterizationConfig;
 use grade10_core::replay::ReplayConfig;
 use grade10_core::report::Table;
+use grade10_core::supervise::{characterize_events_supervised, ChaosMode, ChaosPoint};
+use grade10_core::trace::{IngestConfig, MILLIS};
+use grade10_engines::bridge::{to_raw_events, to_raw_series};
 use grade10_engines::pregel::PregelConfig;
 use grade10_engines::{run_workload, Algorithm, Dataset, EngineKind, WorkloadSpec};
 
 fn main() {
+    supervised_pool_sweep();
     println!("=== Scaling sweep: PageRank on the Giraph-like engine, fixed input ===\n");
     let mut table = Table::new(&[
         "machines",
@@ -77,5 +85,79 @@ fn main() {
          production outruns the fixed per-machine NIC (here between 2 and 4 \
          machines). At still larger clusters both shares shrink in absolute terms \
          as the fixed input is spread ever thinner."
+    );
+}
+
+/// Supervised pool scaling: an 8-machine run whose per-machine attribution
+/// units each stall 60 ms (chaos injection standing in for the slow,
+/// latency-bound units real degraded collections produce — exactly what
+/// per-unit deadlines exist for). Sequential supervision pays the stalls
+/// end to end; the worker pool overlaps them, so wall-clock falls roughly
+/// as `ceil(units / width) × stall` even on a single core. Acceptance:
+/// ≥ 1.5× at 4 threads.
+fn supervised_pool_sweep() {
+    println!("=== Supervised pool scaling: 8 machines, 60 ms per-unit stalls ===\n");
+    let machines = 8usize;
+    let spec = WorkloadSpec {
+        dataset: Dataset::Rmat { scale: 9, seed: 46 },
+        algorithm: Algorithm::PageRank { iterations: 2 },
+        engine: EngineKind::Giraph(PregelConfig {
+            machines,
+            threads: 2,
+            cores: 2.0,
+            ..Default::default()
+        }),
+    };
+    let run = run_workload(&spec);
+    let events = to_raw_events(&run.sim.logs);
+    let monitoring = to_raw_series(&run.sim.series, 8);
+
+    let mut base = CharacterizationConfig::default();
+    base.profile.slice = 10 * MILLIS;
+    base.ingest = IngestConfig::lenient();
+    base.supervise.parallelism = Parallelism::Always;
+    for m in 0..machines as u16 {
+        base.supervise.chaos.push(ChaosPoint {
+            unit: format!("attribute/machine {m}"),
+            mode: ChaosMode::Stall(Duration::from_millis(60)),
+        });
+    }
+
+    let mut table = Table::new(&["pool width", "wall clock", "speedup vs 1", "incidents"]);
+    let mut baseline = None;
+    let mut speedup_at_4 = 0.0;
+    for width in [1usize, 2, 4, 8] {
+        let mut cfg = base.clone();
+        cfg.supervise.threads = Some(width);
+        cfg.profile.threads = Some(width);
+        let t0 = Instant::now();
+        let p = characterize_events_supervised(
+            &run.model,
+            &run.rules_tuned,
+            &events,
+            &monitoring,
+            &cfg,
+        )
+        .expect("supervised run");
+        let dt = t0.elapsed().as_secs_f64();
+        let base_dt = *baseline.get_or_insert(dt);
+        let speedup = base_dt / dt;
+        if width == 4 {
+            speedup_at_4 = speedup;
+        }
+        table.row(&[
+            format!("{width}"),
+            format!("{:.0} ms", dt * 1e3),
+            format!("{speedup:.2}x"),
+            format!("{}", p.incidents.len()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Stalled units overlap on the pool instead of serializing the supervisor: \
+         at width 4 the 8 × 60 ms of injected latency costs ~2 rounds, not 8. \
+         Speedup at 4 threads: {speedup_at_4:.2}x (acceptance floor 1.5x). \
+         Output is byte-identical at every width (merge order is unit-key order; \
+         see tests/supervision_determinism.rs).\n"
     );
 }

@@ -11,6 +11,11 @@
 //! 64×; Giraph untuned is comparably poor at 64× (91 %) and tuned improves
 //! markedly (57 % at 64×, ≤ ~19 % at 8×); the fully tuned PowerGraph model
 //! stays lowest (≤ ~15 % even at 64×).
+//!
+//! Error convention: a zero-truth, nonzero-upsample comparison renders as
+//! `inf` rather than a flattering 0 (phantom mass is unboundedly wrong) —
+//! it cannot occur here because PageRank burns CPU in every window, but a
+//! workload with genuinely idle ground truth would now show it honestly.
 
 use grade10_bench::{cpu_sampling_error, giraph_config, powergraph_config, GROUND_TRUTH_NS};
 use grade10_core::attribution::UpsampleMode;

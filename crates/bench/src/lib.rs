@@ -98,6 +98,9 @@ fn matrix(engine: impl Fn() -> EngineKind) -> Vec<WorkloadSpec> {
 /// over all machines — the sum of absolute differences between the
 /// upsampled consumption and the 50 ms ground truth, as a fraction of total
 /// CPU consumption. `profile` must have been built with a 50 ms slice.
+/// Degenerate inputs follow `relative_sampling_error`'s convention: a
+/// zero-truth, nonzero-upsample comparison scores `inf` (phantom mass is
+/// not a perfect match), zero-vs-zero scores 0.
 pub fn cpu_sampling_error(
     profile: &PerformanceProfile,
     ground_truth: &[grade10_cluster::ResourceSeries],

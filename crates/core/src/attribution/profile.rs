@@ -20,17 +20,7 @@ pub enum UpsampleMode {
     Constant,
 }
 
-/// Threading of the per-resource upsampling stage.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum Parallelism {
-    /// Parallelize when the input is large enough to amortize the spawns.
-    #[default]
-    Auto,
-    /// Always single-threaded.
-    Never,
-    /// Always parallel (mostly for tests pinning determinism).
-    Always,
-}
+pub use crate::config::Parallelism;
 
 /// Configuration of a profile build.
 #[derive(Clone, Debug)]
@@ -42,6 +32,10 @@ pub struct ProfileConfig {
     /// Threading of the upsampling stage; the result is bit-identical
     /// either way.
     pub parallelism: Parallelism,
+    /// Explicit worker-pool width for the upsampling fan-out. `None` (the
+    /// default) defers to `GRADE10_THREADS`, then to the machine size —
+    /// see [`crate::config::resolve_threads`].
+    pub threads: Option<usize>,
     /// When monitoring does not cover a timeslice (crashed monitor,
     /// dropped windows), estimate its consumption from the modeled demand
     /// instead of treating it as idle: `min(capacity, exact + α ×
@@ -65,6 +59,7 @@ impl Default for ProfileConfig {
             slice: 10 * MILLIS,
             upsample: UpsampleMode::DemandGuided,
             parallelism: Parallelism::Auto,
+            threads: None,
             estimate_missing: false,
             grid_end: None,
         }
@@ -351,19 +346,11 @@ pub fn build_profile(
         Parallelism::Auto => nr >= 4 && (ns * nr) >= 64 * 1024,
     };
     if parallel_worthwhile {
-        // `GRADE10_THREADS` pins the fan-out width (tests use it to prove
-        // the result is independent of thread count); otherwise size the
-        // scope to the machine.
-        let threads = std::env::var("GRADE10_THREADS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(4)
-            })
-            .min(nr);
+        // Width precedence (cfg.threads > GRADE10_THREADS > machine size)
+        // is shared with the supervision layer via `crate::config`, so one
+        // knob pins every fan-out. `Always` keeps the worker scope even at
+        // width 1: tests rely on worker spans existing under that policy.
+        let threads = crate::config::resolve_threads(cfg.threads, nr);
         let obs_session = crate::obs::worker_handle();
         std::thread::scope(|scope| {
             let mut rows: Vec<(usize, &mut Vec<f64>, &mut f64)> = consumption

@@ -15,14 +15,28 @@ use crate::trace::timeslice::TimesliceGrid;
 /// Distributes `amount` over `out` proportionally to `weights`, never
 /// pushing `out[i]` above `caps[i]`. Returns the undistributable remainder.
 /// Exact water-filling: at most `n` rounds, each freezing one capped slot.
+///
+/// Convergence tolerances are *relative* to the problem's magnitude (the
+/// larger of `amount` and the largest cap): an absolute `1e-12` would spin
+/// on inputs measured in units of 1e12 (nanosecond totals) and would treat
+/// everything as converged on inputs of order 1e-12 (fractions of a
+/// second), leaking the whole amount back as remainder.
 pub fn waterfill(weights: &[f64], caps: &[f64], amount: f64, out: &mut [f64]) -> f64 {
     debug_assert_eq!(weights.len(), caps.len());
     debug_assert_eq!(weights.len(), out.len());
+    let max_cap = caps.iter().copied().fold(0.0f64, f64::max);
+    let eps = 1e-12 * amount.abs().max(max_cap).max(1e-300);
     let mut remaining = amount;
+    // One predicate decides slot liveness everywhere — seeding, the
+    // stalled-scale retry, and the per-round retain. Mixing thresholds
+    // (`out[i] < caps[i]` to seed, an epsilon gap to retain) let a slot
+    // within epsilon of its cap enter the active set only to stall the
+    // first round on a zero scale.
+    let live = |out: &[f64], i: usize| caps[i] - out[i] > eps;
     let mut active: Vec<usize> = (0..weights.len())
-        .filter(|&i| weights[i] > 0.0 && out[i] < caps[i])
+        .filter(|&i| weights[i] > 0.0 && live(out, i))
         .collect();
-    while remaining > 1e-12 && !active.is_empty() {
+    while remaining > eps && !active.is_empty() {
         let wsum: f64 = active.iter().map(|&i| weights[i]).sum();
         if wsum <= 0.0 {
             break;
@@ -35,7 +49,7 @@ pub fn waterfill(weights: &[f64], caps: &[f64], amount: f64, out: &mut [f64]) ->
         }
         if scale <= 0.0 {
             // All remaining slots are at cap within epsilon.
-            active.retain(|&i| caps[i] - out[i] > 1e-12);
+            active.retain(|&i| live(out, i));
             if active.is_empty() {
                 break;
             }
@@ -45,7 +59,7 @@ pub fn waterfill(weights: &[f64], caps: &[f64], amount: f64, out: &mut [f64]) ->
             out[i] += scale * weights[i];
         }
         remaining -= scale * wsum;
-        active.retain(|&i| caps[i] - out[i] > 1e-12);
+        active.retain(|&i| live(out, i));
     }
     remaining.max(0.0)
 }
@@ -54,6 +68,13 @@ pub fn waterfill(weights: &[f64], caps: &[f64], amount: f64, out: &mut [f64]) ->
 /// `out[ws..we]` (slice indices of the window). `exact` and `variable` are
 /// the demand rows of this resource over all slices. Returns the overflow
 /// that could not be placed under `capacity`.
+///
+/// The mass to place is `avg × true duration` (in units × slices), *not*
+/// `avg × snapped slice count`: a window whose bounds sit off the slice
+/// boundaries (`[0, 14 ms)` on a 10 ms grid) snaps to one slice, and
+/// pricing it by the snapped count would silently drop 40 % of what the
+/// monitor measured. The snapped range still decides *where* the mass
+/// lands; only the amount comes from the true extent.
 pub fn upsample_measurement(
     m: &Measurement,
     grid: &TimesliceGrid,
@@ -65,7 +86,7 @@ pub fn upsample_measurement(
     let ws = grid.snap(m.start);
     let we = grid.snap(m.end).max(ws + 1).min(grid.num_slices());
     let n = we - ws;
-    let total = m.avg * n as f64; // in (units × slices)
+    let total = m.avg * duration_slices(m, grid); // in (units × slices)
 
     // Step 1: proportional to known demand, capped by min(demand, capacity).
     let targets: Vec<f64> = (ws..we).map(|s| exact[s].min(capacity)).collect();
@@ -99,19 +120,34 @@ pub fn upsample_measurement(
     rem
 }
 
+/// Measured window extent in units of grid slices — the true duration, not
+/// the snapped slice count, so mass conservation survives windows whose
+/// bounds are off the slice boundaries.
+fn duration_slices(m: &Measurement, grid: &TimesliceGrid) -> f64 {
+    m.end.saturating_sub(m.start) as f64 / grid.slice_nanos() as f64
+}
+
 /// The strawman the paper compares against: assume constant usage over the
-/// measurement window.
+/// measurement window. Like [`upsample_measurement`], the placed mass is
+/// `avg × true duration`, spread evenly over the snapped slices.
 pub fn upsample_constant(m: &Measurement, grid: &TimesliceGrid, out: &mut [f64]) {
     let ws = grid.snap(m.start);
     let we = grid.snap(m.end).max(ws + 1).min(grid.num_slices());
+    let n = we - ws;
+    let level = m.avg * duration_slices(m, grid) / n as f64;
     for slot in &mut out[ws..we] {
-        *slot = m.avg;
+        *slot = level;
     }
 }
 
 /// The paper's Table II metric: sum of absolute differences between the
 /// upsampled series and the ground truth, as a fraction of total ground
 /// truth consumption. Both series must share the same granularity.
+///
+/// When the truth sums to zero the ratio is degenerate: zero-vs-zero is a
+/// perfect reconstruction (0.0), but *nonzero*-vs-zero is unboundedly
+/// wrong and returns [`f64::INFINITY`] — returning 0.0 there would score
+/// phantom mass as a perfect match.
 pub fn relative_sampling_error(upsampled: &[f64], truth: &[f64]) -> f64 {
     assert_eq!(
         upsampled.len(),
@@ -121,14 +157,14 @@ pub fn relative_sampling_error(upsampled: &[f64], truth: &[f64]) -> f64 {
         truth.len()
     );
     let total: f64 = truth.iter().sum();
-    if total <= 0.0 {
-        return 0.0;
-    }
     let abs_diff: f64 = upsampled
         .iter()
         .zip(truth)
         .map(|(u, t)| (u - t).abs())
         .sum();
+    if total <= 0.0 {
+        return if abs_diff > 0.0 { f64::INFINITY } else { 0.0 };
+    }
     abs_diff / total
 }
 
@@ -270,6 +306,77 @@ mod tests {
     fn error_metric_basics() {
         assert_eq!(relative_sampling_error(&[1.0, 1.0], &[1.0, 1.0]), 0.0);
         assert!((relative_sampling_error(&[2.0, 0.0], &[1.0, 1.0]) - 1.0).abs() < 1e-12);
-        assert_eq!(relative_sampling_error(&[5.0], &[0.0]), 0.0);
+        // Zero-vs-zero is a perfect reconstruction ...
+        assert_eq!(relative_sampling_error(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        // ... but phantom mass against a zero truth is unboundedly wrong,
+        // not a perfect score.
+        assert_eq!(relative_sampling_error(&[5.0], &[0.0]), f64::INFINITY);
+    }
+
+    /// Off-boundary regression: `[0, 14 ms)` on a 10 ms grid snaps to one
+    /// slice. The mass placed must be `avg × 1.4 slices`, not `avg × 1` —
+    /// the snapped-count pricing silently dropped 40 % of the measurement.
+    #[test]
+    fn off_boundary_window_conserves_true_mass() {
+        for (start_ms, end_ms) in [(0u64, 14u64), (3, 14), (0, 6), (7, 33)] {
+            let g = grid(4);
+            let m = Measurement {
+                start: start_ms * MILLIS,
+                end: end_ms * MILLIS,
+                avg: 2.0,
+            };
+            let dur_slices = (end_ms - start_ms) as f64 / 10.0;
+            let mut out = vec![0.0; 4];
+            let overflow =
+                upsample_measurement(&m, &g, &[0.0; 4], &[1.0; 4], 100.0, &mut out);
+            let placed: f64 = out.iter().sum();
+            assert!(
+                (placed + overflow - 2.0 * dur_slices).abs() < 1e-9,
+                "[{start_ms},{end_ms}) ms: placed {placed} + overflow {overflow} \
+                 != avg × {dur_slices} slices"
+            );
+        }
+    }
+
+    /// The constant strawman conserves the same true mass: a 14 ms window
+    /// snapped to one 10 ms slice reads 2.8 units there, not 2.0.
+    #[test]
+    fn off_boundary_constant_conserves_true_mass() {
+        let g = grid(4);
+        let m = Measurement {
+            start: 0,
+            end: 14 * MILLIS,
+            avg: 2.0,
+        };
+        let mut out = vec![0.0; 4];
+        upsample_constant(&m, &g, &mut out);
+        assert!((out[0] - 2.8).abs() < 1e-9, "got {}", out[0]);
+        assert!(out[1..].iter().all(|&v| v == 0.0));
+    }
+
+    /// Waterfill's tolerances are relative: the same shape must fill at
+    /// 1e±15 scales without leaking the amount back as remainder.
+    #[test]
+    fn waterfill_handles_extreme_magnitudes() {
+        for scale in [1e-15f64, 1.0, 1e15] {
+            let weights = [1.0, 2.0, 1.0];
+            let caps = [10.0 * scale, 10.0 * scale, 10.0 * scale];
+            let amount = 8.0 * scale;
+            let mut out = vec![0.0; 3];
+            let left = waterfill(&weights, &caps, amount, &mut out);
+            assert!(left <= 1e-9 * scale, "scale {scale}: leftover {left}");
+            assert!((out[1] - 4.0 * scale).abs() < 1e-9 * scale, "scale {scale}");
+        }
+    }
+
+    /// A slot already within rounding of its cap must not stall the fill:
+    /// the unified liveness predicate excludes it from the first round.
+    #[test]
+    fn waterfill_skips_slots_at_cap_within_epsilon() {
+        let caps = [1.0, 5.0];
+        let mut out = vec![1.0 - 1e-16, 0.0];
+        let left = waterfill(&[1.0, 1.0], &caps, 3.0, &mut out);
+        assert!(left < 1e-9, "leftover {left}");
+        assert!((out[1] - 3.0).abs() < 1e-9, "got {}", out[1]);
     }
 }

@@ -72,6 +72,7 @@
 pub mod attribution;
 pub mod bottleneck;
 pub mod compare;
+pub mod config;
 pub mod error;
 pub mod critical_path;
 pub mod indicator;
@@ -87,6 +88,7 @@ pub mod supervise;
 pub mod trace;
 
 pub use attribution::{build_profile, PerformanceProfile, ProfileConfig, UpsampleMode};
+pub use config::Parallelism;
 pub use error::Grade10Error;
 pub use pipeline::{
     characterize, characterize_events, characterize_meta, characterize_self, Characterization,

@@ -229,9 +229,9 @@ pub fn characterize_meta(raw: &MetaTrace) -> Result<MetaCharacterization, Grade1
     let cfg = CharacterizationConfig {
         profile: ProfileConfig {
             slice: MetaCharacterization::slice_for(raw.end),
-            // The meta-trace is tiny; re-entering the thread scope to
-            // analyze it would only add noise to nested recordings.
-            parallelism: crate::attribution::Parallelism::Never,
+            // Default `Auto` policy: a meta-trace is far below the Auto
+            // fan-out threshold, so it analyzes sequentially without
+            // pinning a policy the caller might want to override.
             ..ProfileConfig::default()
         },
         ..CharacterizationConfig::default()

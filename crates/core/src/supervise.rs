@@ -33,20 +33,32 @@
 //! analyzed. The degradation ladder is: strict → lenient → coarse slice →
 //! drop unit (see `docs/robustness.md`).
 //!
-//! Determinism: with no deadline configured, every unit runs inline on the
-//! supervisor thread (panics still captured), so results are reproducible
-//! byte for byte. With a deadline, units run on worker threads; a unit
-//! that misses its deadline is abandoned *detached* — its thread finishes
-//! (or leaks until process exit) in the background, which is the price of
-//! not blocking the pipeline on an unbounded computation. Failed attempts
-//! are stamped into the self-profile as [`obs::Stage::Incident`] spans.
+//! Concurrency: per-machine units run on a bounded worker pool
+//! ([`SuperviseConfig::parallelism`] / [`SuperviseConfig::threads`], width
+//! resolved by [`crate::config::resolve_threads`] — explicit width, then
+//! `GRADE10_THREADS`, then the machine size). Workers claim units from a
+//! shared queue, and the supervisor merges their results — profiles,
+//! repaired streams, incidents, per-machine status — in stable unit-key
+//! order, so the output is byte-identical whatever the pool width,
+//! including width 1 (which runs the unit inline on the supervisor
+//! thread). With [`SuperviseConfig::deadline`] set, each attempt runs on
+//! its own detached thread and is abandoned if it overruns — the thread
+//! finishes (or leaks until process exit) in the background, which is the
+//! price of not blocking the pipeline on an unbounded computation; because
+//! attempts time out *concurrently* on the pool, one stalled unit delays
+//! the run by one deadline, not one deadline per stalled unit. Pool
+//! workers register with [`crate::obs`] so self-characterization
+//! attributes their CPU; failed attempts are stamped into the self-profile
+//! as [`obs::Stage::Incident`] spans.
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use crate::attribution::{build_profile, PerformanceProfile, ProfileConfig};
+use crate::config::Parallelism;
 use crate::bottleneck::BottleneckReport;
 use crate::error::Grade10Error;
 use crate::issues::{detect_bottleneck_issues, detect_imbalance_issues, PerformanceIssue};
@@ -90,6 +102,16 @@ pub struct SuperviseConfig {
     /// Test-only fault injection: chaos points matched by unit label. Leave
     /// empty in production.
     pub chaos: Vec<ChaosPoint>,
+    /// Threading policy for the per-machine unit pools (ingestion and
+    /// attribution). Results are byte-identical at any width — workers
+    /// only compute, the supervisor merges in stable unit-key order — so
+    /// the default [`Parallelism::Auto`] parallelizes whenever there is
+    /// more than one unit.
+    pub parallelism: Parallelism,
+    /// Explicit worker-pool width. `None` (the default) defers to
+    /// `GRADE10_THREADS`, then to the machine size — see
+    /// [`crate::config::resolve_threads`].
+    pub threads: Option<usize>,
 }
 
 impl Default for SuperviseConfig {
@@ -100,6 +122,8 @@ impl Default for SuperviseConfig {
             max_grid_cells: 4_000_000,
             coarsen_factor: 10,
             chaos: Vec::new(),
+            parallelism: Parallelism::Auto,
+            threads: None,
         }
     }
 }
@@ -473,6 +497,78 @@ where
     }
 }
 
+/// Worker-pool width for `units` per-machine units under `sup`'s policy.
+/// Units are coarse (a full ingest repair or profile build each), so under
+/// [`Parallelism::Auto`] any multi-unit batch is worth fanning out.
+fn pool_width(sup: &SuperviseConfig, units: usize) -> usize {
+    sup.parallelism.width(sup.threads, units, units > 1)
+}
+
+/// Runs `run` over every item on a bounded pool of `width` scoped workers
+/// and returns the results **in item order** — the pool only changes *when*
+/// units execute, never how their outputs interleave, which is what keeps
+/// supervised output byte-identical across widths.
+///
+/// Workers claim items from a shared cursor (no up-front chunking: one
+/// slow unit — a deadline sleeper, a retry ladder — must not leave its
+/// chunk-mates queued behind it while other workers sit idle) and register
+/// with [`crate::obs`] so self-characterization attributes their CPU.
+/// `width <= 1` degenerates to an inline loop on the caller's thread.
+fn pool_map<I, T, F>(width: usize, items: Vec<I>, run: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    if width <= 1 || items.len() <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| run(i, item))
+            .collect();
+    }
+    let n = items.len();
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    let obs_session = obs::worker_handle();
+    std::thread::scope(|scope| {
+        for _ in 0..width.min(n) {
+            let slots = &slots;
+            let cursor = &cursor;
+            let done = &done;
+            let run = &run;
+            let obs_session = obs_session.clone();
+            scope.spawn(move || {
+                let _worker = obs_session.as_ref().map(|h| h.enter());
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    // Units never unwind past `run` (failures are caught
+                    // and returned as values), so a poisoned slot can only
+                    // mean another worker died mid-claim; taking the inner
+                    // value anyway keeps this unit alive regardless.
+                    let item = slots[idx]
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .take();
+                    let Some(item) = item else { continue };
+                    let out = run(idx, item);
+                    done.lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push((idx, out));
+                }
+            });
+        }
+    });
+    let mut done = done.into_inner().unwrap_or_else(PoisonError::into_inner);
+    done.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(done.len(), n, "pool lost results");
+    done.into_iter().map(|(_, t)| t).collect()
+}
+
 // ---------------------------------------------------------------------------
 // The supervised pipeline.
 // ---------------------------------------------------------------------------
@@ -560,6 +656,202 @@ fn unit_label(machine: Option<u16>) -> String {
     }
 }
 
+/// Everything one per-machine ingest unit produces. Computed on a pool
+/// worker; the supervisor merges these in unit-key order, which reproduces
+/// the sequential loop's exact incident sequence, event interleaving, and
+/// status map at any pool width.
+struct IngestUnitDone {
+    key: Option<u16>,
+    status: UnitStatus,
+    incidents: Vec<Incident>,
+    events: Vec<RawEvent>,
+    series: Vec<RawSeries>,
+    report: IngestReport,
+}
+
+/// One machine's supervised ingest: the retry ladder (configured mode,
+/// then lenient) plus the unit-local incident records.
+fn ingest_machine_unit(
+    sup: &SuperviseConfig,
+    base_mode: IngestMode,
+    bound: Option<Nanos>,
+    key: Option<u16>,
+    ev: Vec<RawEvent>,
+    mon: Vec<RawSeries>,
+) -> IngestUnitDone {
+    let label = format!("ingest/{}", unit_label(key));
+    let ev = Arc::new(ev);
+    let mon = Arc::new(mon);
+    let run = run_unit(sup, &label, |k| {
+        let mode = if k == 0 { base_mode } else { IngestMode::Lenient };
+        let ev = Arc::clone(&ev);
+        let mon = Arc::clone(&mon);
+        Box::new(move || ingest_unit(&ev, &mon, mode, bound))
+    });
+    let mut incidents = Vec::new();
+    let mut status = UnitStatus::Full;
+    match run.result {
+        Ok(out) => {
+            if let Some(e) = run.first_error {
+                status = UnitStatus::Degraded;
+                let degradation = if base_mode == IngestMode::Strict {
+                    "lenient ingestion".to_string()
+                } else {
+                    "retried".to_string()
+                };
+                incidents.push(Incident {
+                    stage: "ingest",
+                    unit: unit_label(key),
+                    kind: IncidentKind::of(&e),
+                    detail: e.detail().to_string(),
+                    attempts: run.attempts,
+                    outcome: IncidentOutcome::Recovered { degradation },
+                });
+            }
+            if out.report.monitoring_quarantined > 0 {
+                status = status.max(UnitStatus::Degraded);
+                incidents.push(Incident {
+                    stage: "ingest",
+                    unit: unit_label(key),
+                    kind: IncidentKind::Quarantine,
+                    detail: format!(
+                        "{} implausible monitoring windows quarantined",
+                        out.report.monitoring_quarantined
+                    ),
+                    attempts: run.attempts,
+                    outcome: IncidentOutcome::Recovered {
+                        degradation: "quarantined windows excluded".to_string(),
+                    },
+                });
+            }
+            // A machine with monitoring but no log events lost its
+            // log stream: characterized from monitoring only.
+            if key.is_some() && ev.is_empty() && !out.series.is_empty() {
+                status = status.max(UnitStatus::Degraded);
+                incidents.push(Incident {
+                    stage: "ingest",
+                    unit: unit_label(key),
+                    kind: IncidentKind::MissingData,
+                    detail: "no log events from this machine".to_string(),
+                    attempts: run.attempts,
+                    outcome: IncidentOutcome::Recovered {
+                        degradation: "monitoring-only coverage".to_string(),
+                    },
+                });
+            }
+            IngestUnitDone {
+                key,
+                status,
+                incidents,
+                events: out.events,
+                series: out.series,
+                report: out.report,
+            }
+        }
+        Err(e) => {
+            incidents.push(Incident {
+                stage: "ingest",
+                unit: unit_label(key),
+                kind: IncidentKind::of(&e),
+                detail: e.detail().to_string(),
+                attempts: run.attempts,
+                outcome: IncidentOutcome::Dropped,
+            });
+            IngestUnitDone {
+                key,
+                status: UnitStatus::Dropped,
+                incidents,
+                events: Vec::new(),
+                series: Vec::new(),
+                report: IngestReport::default(),
+            }
+        }
+    }
+}
+
+/// Result of one per-machine attribution unit: the profile (`None` when
+/// the unit was dropped), unit-local incidents, and whether a recovered
+/// retry degraded the machine. Merged by the supervisor in unit-key order.
+struct AttributeUnitDone {
+    key: Option<u16>,
+    profile: Option<PerformanceProfile>,
+    degraded: bool,
+    incidents: Vec<Incident>,
+}
+
+/// One machine's supervised attribution: rebuild its resource trace and
+/// run `build_profile` over the shared grid, under the retry ladder.
+fn attribute_machine_unit(
+    sup: &SuperviseConfig,
+    model: &Arc<ExecutionModel>,
+    rules: &Arc<RuleSet>,
+    trace: &Arc<ExecutionTrace>,
+    pcfg: &ProfileConfig,
+    key: Option<u16>,
+    series: Vec<RawSeries>,
+) -> AttributeUnitDone {
+    let label = format!("attribute/{}", unit_label(key));
+    let series = Arc::new(series);
+    let run = run_unit(sup, &label, |_k| {
+        let model = Arc::clone(model);
+        let rules = Arc::clone(rules);
+        let trace = Arc::clone(trace);
+        let series = Arc::clone(&series);
+        let pcfg = pcfg.clone();
+        Box::new(move || {
+            let mut rt = ResourceTrace::new();
+            for s in series.iter() {
+                let idx = rt.try_add_resource(s.instance.clone())?;
+                for &m in &s.measurements {
+                    rt.try_add_measurement(idx, m)?;
+                }
+            }
+            Ok(build_profile(&model, &rules, &trace, &rt, &pcfg))
+        })
+    });
+    let mut incidents = Vec::new();
+    match run.result {
+        Ok(p) => {
+            let mut degraded = false;
+            if let Some(e) = run.first_error {
+                degraded = true;
+                incidents.push(Incident {
+                    stage: "attribute",
+                    unit: unit_label(key),
+                    kind: IncidentKind::of(&e),
+                    detail: e.detail().to_string(),
+                    attempts: run.attempts,
+                    outcome: IncidentOutcome::Recovered {
+                        degradation: "retried".to_string(),
+                    },
+                });
+            }
+            AttributeUnitDone {
+                key,
+                profile: Some(p),
+                degraded,
+                incidents,
+            }
+        }
+        Err(e) => {
+            incidents.push(Incident {
+                stage: "attribute",
+                unit: unit_label(key),
+                kind: IncidentKind::of(&e),
+                detail: e.detail().to_string(),
+                attempts: run.attempts,
+                outcome: IncidentOutcome::Dropped,
+            });
+            AttributeUnitDone {
+                key,
+                profile: None,
+                degraded: false,
+                incidents,
+            }
+        }
+    }
+}
+
 /// Runs the full Grade10 pipeline from raw collected data under
 /// supervision: per-machine ingestion and attribution units, panic
 /// capture, deadlines, grid budget guard, and a bounded degradation
@@ -609,90 +901,36 @@ pub fn characterize_events_supervised(
     let bound = plausibility_bound(monitoring);
 
     // -- Per-machine ingest units. Ladder: configured mode, then lenient.
+    // Units execute on the worker pool; everything order-sensitive — the
+    // incident sequence, event interleaving, the status map — is merged
+    // below in unit-key order, so output is identical at any pool width.
     let mut machine_status: BTreeMap<Option<u16>, UnitStatus> = BTreeMap::new();
     let mut merged_events: Vec<RawEvent> = Vec::new();
     let mut surviving: Vec<(Option<u16>, Vec<RawSeries>)> = Vec::new();
     {
         let _span = obs::span(obs::Stage::Ingest);
-        for &key in &unit_keys {
-            let label = format!("ingest/{}", unit_label(key));
-            let ev = Arc::new(ev_by.remove(&key).unwrap_or_default());
-            let mon = Arc::new(mon_by.remove(&key).unwrap_or_default());
-            let run = run_unit(sup, &label, |k| {
-                let mode = if k == 0 { base_mode } else { IngestMode::Lenient };
-                let ev = Arc::clone(&ev);
-                let mon = Arc::clone(&mon);
-                Box::new(move || ingest_unit(&ev, &mon, mode, bound))
-            });
-            let mut status = UnitStatus::Full;
-            match run.result {
-                Ok(out) => {
-                    if let Some(e) = run.first_error {
-                        status = UnitStatus::Degraded;
-                        let degradation = if base_mode == IngestMode::Strict {
-                            "lenient ingestion".to_string()
-                        } else {
-                            "retried".to_string()
-                        };
-                        incidents.push(Incident {
-                            stage: "ingest",
-                            unit: unit_label(key),
-                            kind: IncidentKind::of(&e),
-                            detail: e.detail().to_string(),
-                            attempts: run.attempts,
-                            outcome: IncidentOutcome::Recovered { degradation },
-                        });
-                    }
-                    if out.report.monitoring_quarantined > 0 {
-                        status = status.max(UnitStatus::Degraded);
-                        incidents.push(Incident {
-                            stage: "ingest",
-                            unit: unit_label(key),
-                            kind: IncidentKind::Quarantine,
-                            detail: format!(
-                                "{} implausible monitoring windows quarantined",
-                                out.report.monitoring_quarantined
-                            ),
-                            attempts: run.attempts,
-                            outcome: IncidentOutcome::Recovered {
-                                degradation: "quarantined windows excluded".to_string(),
-                            },
-                        });
-                    }
-                    // A machine with monitoring but no log events lost its
-                    // log stream: characterized from monitoring only.
-                    if key.is_some() && ev.is_empty() && !out.series.is_empty() {
-                        status = status.max(UnitStatus::Degraded);
-                        incidents.push(Incident {
-                            stage: "ingest",
-                            unit: unit_label(key),
-                            kind: IncidentKind::MissingData,
-                            detail: "no log events from this machine".to_string(),
-                            attempts: run.attempts,
-                            outcome: IncidentOutcome::Recovered {
-                                degradation: "monitoring-only coverage".to_string(),
-                            },
-                        });
-                    }
-                    absorb_report(&mut report, &out.report);
-                    merged_events.extend(out.events);
-                    if !out.series.is_empty() {
-                        surviving.push((key, out.series));
-                    }
-                }
-                Err(e) => {
-                    status = UnitStatus::Dropped;
-                    incidents.push(Incident {
-                        stage: "ingest",
-                        unit: unit_label(key),
-                        kind: IncidentKind::of(&e),
-                        detail: e.detail().to_string(),
-                        attempts: run.attempts,
-                        outcome: IncidentOutcome::Dropped,
-                    });
-                }
+        let units: Vec<(Option<u16>, Vec<RawEvent>, Vec<RawSeries>)> = unit_keys
+            .iter()
+            .map(|&key| {
+                (
+                    key,
+                    ev_by.remove(&key).unwrap_or_default(),
+                    mon_by.remove(&key).unwrap_or_default(),
+                )
+            })
+            .collect();
+        let width = pool_width(sup, units.len());
+        let outs = pool_map(width, units, |_idx, (key, ev, mon)| {
+            ingest_machine_unit(sup, base_mode, bound, key, ev, mon)
+        });
+        for done in outs {
+            incidents.extend(done.incidents);
+            absorb_report(&mut report, &done.report);
+            merged_events.extend(done.events);
+            if !done.series.is_empty() {
+                surviving.push((done.key, done.series));
             }
-            machine_status.insert(key, status);
+            machine_status.insert(done.key, done.status);
         }
     }
 
@@ -812,7 +1050,7 @@ pub fn characterize_events_supervised(
         }
     }
 
-    // -- Per-machine attribution units over the shared grid.
+    // -- Per-machine attribution units over the shared grid, on the pool.
     let rules_arc = Arc::new(rules.clone());
     let trace_arc = Arc::new(trace);
     let pcfg = ProfileConfig {
@@ -823,55 +1061,25 @@ pub fn characterize_events_supervised(
     let mut parts: Vec<PerformanceProfile> = Vec::new();
     let mut attribute_dropped = 0usize;
     if budget_ok {
-        for (key, series) in surviving {
-            let label = format!("attribute/{}", unit_label(key));
-            let series = Arc::new(series);
-            let run = run_unit(sup, &label, |_k| {
-                let model = Arc::clone(&model_arc);
-                let rules = Arc::clone(&rules_arc);
-                let trace = Arc::clone(&trace_arc);
-                let series = Arc::clone(&series);
-                let pcfg = pcfg.clone();
-                Box::new(move || {
-                    let mut rt = ResourceTrace::new();
-                    for s in series.iter() {
-                        let idx = rt.try_add_resource(s.instance.clone())?;
-                        for &m in &s.measurements {
-                            rt.try_add_measurement(idx, m)?;
-                        }
-                    }
-                    Ok(build_profile(&model, &rules, &trace, &rt, &pcfg))
-                })
-            });
-            match run.result {
-                Ok(p) => {
-                    if let Some(e) = run.first_error {
-                        let status = machine_status.entry(key).or_insert(UnitStatus::Full);
+        // Same pool discipline as ingestion: workers build per-machine
+        // profiles concurrently, the merge below runs in unit-key order.
+        let width = pool_width(sup, surviving.len());
+        let outs = pool_map(width, surviving, |_idx, (key, series)| {
+            attribute_machine_unit(sup, &model_arc, &rules_arc, &trace_arc, &pcfg, key, series)
+        });
+        for done in outs {
+            incidents.extend(done.incidents);
+            match done.profile {
+                Some(p) => {
+                    if done.degraded {
+                        let status = machine_status.entry(done.key).or_insert(UnitStatus::Full);
                         *status = (*status).max(UnitStatus::Degraded);
-                        incidents.push(Incident {
-                            stage: "attribute",
-                            unit: unit_label(key),
-                            kind: IncidentKind::of(&e),
-                            detail: e.detail().to_string(),
-                            attempts: run.attempts,
-                            outcome: IncidentOutcome::Recovered {
-                                degradation: "retried".to_string(),
-                            },
-                        });
                     }
                     parts.push(p);
                 }
-                Err(e) => {
+                None => {
                     attribute_dropped += 1;
-                    machine_status.insert(key, UnitStatus::Dropped);
-                    incidents.push(Incident {
-                        stage: "attribute",
-                        unit: unit_label(key),
-                        kind: IncidentKind::of(&e),
-                        detail: e.detail().to_string(),
-                        attempts: run.attempts,
-                        outcome: IncidentOutcome::Dropped,
-                    });
+                    machine_status.insert(done.key, UnitStatus::Dropped);
                 }
             }
         }

@@ -430,6 +430,11 @@ pub(crate) fn repair_events_opts(
         };
         closed.push((path.clone(), start, end, machine, thread));
     }
+    // Path order, not hash order: the ancestor scan below credits a
+    // synthesized parent to the first descendant seen, and the final
+    // emission sort breaks timestamp ties by insertion order — both must
+    // not depend on HashMap iteration.
+    closed.sort_unstable();
 
     // 5. Pair blocks: k-th start with k-th end (bursts on one thread are
     // sequential, so rank pairing survives jitter); inverted pairs clamp
@@ -437,6 +442,8 @@ pub(crate) fn repair_events_opts(
     // stream end. Overlapping repaired pairs are merged so the emitted
     // stream stays balanced under the strict parser's scan.
     let mut blocks: Vec<(u16, u16, &str, Nanos, Nanos)> = Vec::new();
+    let mut bursts: Vec<_> = bursts.into_iter().collect();
+    bursts.sort_unstable_by(|a, b| a.0.cmp(&b.0));
     for ((machine, thread, resource), mut burst) in bursts {
         burst.starts.sort_unstable();
         burst.ends.sort_unstable();
@@ -504,6 +511,8 @@ pub(crate) fn repair_events_opts(
                 .into_iter()
                 .map(|(path, (s, e, m, t))| (path, s, e, m, t)),
         );
+        // Restore path order over the appended ancestors (hash order).
+        closed.sort_unstable();
     }
 
     // 7. Emit a balanced stream. Tie-breaking at equal timestamps matters

@@ -7,7 +7,7 @@
 //!              [--work-profile] [--export-logs DIR] [--html FILE]
 //!              [--inject CLASS[,CLASS...]] [--fault-seed N] [--lenient]
 //!              [--partial] [--deadline-ms N] [--max-retries N]
-//!              [--self-profile] [--self-export DIR]
+//!              [--threads N] [--self-profile] [--self-export DIR]
 //!     Run a simulated workload end to end and print the characterization;
 //!     optionally ship the run's logs and monitoring as files that
 //!     `grade10 analyze` (and any other tooling) can consume. `--inject`
@@ -20,8 +20,11 @@
 //!     checked), failures degrade or drop units instead of aborting, and
 //!     the report ends with an incident log and a coverage table.
 //!     `--deadline-ms` bounds each supervised unit's wall-clock time (off
-//!     by default, which keeps the run deterministic); `--max-retries`
-//!     bounds the degradation ladder (default 2).
+//!     by default); `--max-retries` bounds the degradation ladder
+//!     (default 2). `--threads N` pins the worker-pool width used by both
+//!     the upsampling fan-out and supervised per-machine units; it beats
+//!     the `GRADE10_THREADS` environment variable, which beats the machine
+//!     size. Results are byte-identical at any width.
 //!     `--self-profile` additionally records the pipeline's own execution
 //!     and prints Grade10's characterization of itself; `--self-export DIR`
 //!     dumps that meta-trace (model + events + monitoring) in the offline
@@ -34,7 +37,8 @@
 //! grade10 analyze --model BUNDLE.json --events EVENTS.jsonl
 //!                 --resources RESOURCES.json [--slice-ms N] [--gantt]
 //!                 [--lenient] [--partial] [--deadline-ms N]
-//!                 [--max-retries N] [--self-profile] [--self-export DIR]
+//!                 [--max-retries N] [--threads N]
+//!                 [--self-profile] [--self-export DIR]
 //!     Offline analysis: characterize logs shipped from a monitored run.
 //!     With `--lenient`, degraded logs (out-of-order, truncated, gappy
 //!     monitoring) are repaired and the repairs reported instead of
@@ -111,12 +115,12 @@ const USAGE: &str = "usage:
                          machine-missing|timestamp-bomb|all|hostile[,..]]
                [--fault-seed N] [--lenient]
                [--partial] [--deadline-ms N] [--max-retries N]
-               [--self-profile] [--self-export DIR]
+               [--threads N] [--self-profile] [--self-export DIR]
   grade10 export-model --engine giraph|powergraph [-o FILE]
   grade10 analyze --model BUNDLE.json --events EVENTS.jsonl
                   --resources RESOURCES.json [--slice-ms N] [--gantt]
                   [--lenient] [--partial] [--deadline-ms N] [--max-retries N]
-                  [--self-profile] [--self-export DIR]
+                  [--threads N] [--self-profile] [--self-export DIR]
 
 --partial runs the pipeline supervised: panics, deadline overruns, and
 over-budget grids degrade or drop per-machine units instead of aborting,
@@ -292,13 +296,11 @@ fn demo(flags: &HashMap<String, String>) -> Result<RunStatus, String> {
 
     let resources = run.resource_trace(8);
     let profiler = SelfProfiler::from_flags(flags);
-    let result = characterize(
-        &run.model,
-        &run.rules_tuned,
-        &run.trace,
-        &resources,
-        &CharacterizationConfig::default(),
-    );
+    // Shared flag handling even on the pristine path, so `--threads` reaches
+    // the upsampling fan-out and a bad value errors regardless of which
+    // branch a command takes.
+    let cfg = characterization_config(flags, 10)?;
+    let result = characterize(&run.model, &run.rules_tuned, &run.trace, &resources, &cfg);
     print_characterization(&run.model, &run.trace, &result, flags.contains_key("--gantt"));
     profiler.finish(flags)?;
     if let Some(path) = flags.get("--html") {
@@ -357,7 +359,9 @@ fn print_supervision(p: &PartialCharacterization) {
 /// Builds the pipeline config from the shared CLI flags: `--lenient` picks
 /// the ingestion mode and, with it, demand-based estimation of slices whose
 /// monitoring was lost; `--deadline-ms` and `--max-retries` tune the
-/// supervision layer used by `--partial`.
+/// supervision layer used by `--partial`; `--threads` pins the worker-pool
+/// width of both the upsampling fan-out and the supervised per-machine
+/// units (beating `GRADE10_THREADS`, which beats the machine size).
 fn characterization_config(
     flags: &HashMap<String, String>,
     slice_ms: u64,
@@ -371,10 +375,21 @@ fn characterization_config(
     if let Some(s) = flags.get("--max-retries") {
         supervise.max_retries = s.parse().map_err(|_| format!("bad retry count '{s}'"))?;
     }
+    let threads = flags
+        .get("--threads")
+        .map(|s| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("bad thread count '{s}'"))
+        })
+        .transpose()?;
+    supervise.threads = threads;
     Ok(CharacterizationConfig {
         profile: grade10::core::attribution::ProfileConfig {
             slice: slice_ms * MILLIS,
             estimate_missing: lenient,
+            threads,
             ..Default::default()
         },
         ingest: IngestConfig {

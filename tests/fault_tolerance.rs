@@ -10,7 +10,7 @@
 
 use grade10::cluster::{FaultClass, FaultPlan};
 use grade10::core::pipeline::{characterize_events, CharacterizationConfig};
-use grade10::core::trace::{IngestConfig, MILLIS};
+use grade10::core::trace::{repair_events, IngestConfig, IngestReport, MILLIS};
 use grade10::engines::bridge::{to_raw_events, to_raw_series};
 use grade10::engines::pregel::PregelConfig;
 use grade10::engines::{run_workload, Algorithm, Dataset, EngineKind, WorkloadRun, WorkloadSpec};
@@ -160,8 +160,49 @@ fn injection_and_repair_are_deterministic() {
                 &config(true),
             )
             .expect("lenient characterization");
-            format!("{:?}", result.ingest)
+            // The repair counters alone would pass even if the *repaired
+            // stream* varied, so fold in everything downstream of arrival
+            // order: the replayed makespan, the issue list, and the profile
+            // mass per resource.
+            let consumption: Vec<f64> = result
+                .profile
+                .consumption
+                .iter()
+                .map(|row| row.iter().sum())
+                .collect();
+            format!(
+                "{:?} makespan={} issues={:?} consumption={consumption:?}",
+                result.ingest,
+                result.base_makespan,
+                result.summary(&run.model),
+            )
         })
         .collect();
     assert_eq!(reports[0], reports[1]);
+}
+
+/// Regression: repairing the same damaged stream twice must emit the
+/// *identical* event sequence — not just identical repair counters. Repair
+/// groups records in hash maps, and sibling phases released by one barrier
+/// share a timestamp, so without a deterministic sort the tie-break between
+/// them followed hash-iteration order and arrival order drifted from run to
+/// run (visible as jitter in the blocked-time table under `--inject drop`).
+#[test]
+fn repair_emits_a_deterministic_stream() {
+    let run = tiny_run();
+    for class in [FaultClass::Drop, FaultClass::Truncate, FaultClass::Reorder] {
+        let mut plan = FaultPlan::clean(5);
+        plan.enable(class);
+        let events = to_raw_events(&plan.inject_logs(&run.sim.logs));
+        let repaired: Vec<_> = (0..2)
+            .map(|_| {
+                let mut report = IngestReport::default();
+                repair_events(&events, &mut report)
+            })
+            .collect();
+        assert_eq!(
+            repaired[0], repaired[1],
+            "repair of a {class:?}-damaged stream must be order-deterministic"
+        );
+    }
 }

@@ -168,9 +168,9 @@ fn golden_ingest_damage_report() {
 
 /// The incidents and coverage tables for the demo run under the hostile
 /// fault pair (machine-missing + timestamp-bomb) in supervised lenient
-/// mode. With no deadline configured every unit runs inline, injection is
-/// seeded, and incident details carry only deterministic counts — so this
-/// compares exactly.
+/// mode. Per-machine units run on the worker pool, but results merge in
+/// stable unit-key order; injection is seeded and incident details carry
+/// only deterministic counts — so this compares exactly at any width.
 #[test]
 fn golden_supervision_incident_report() {
     let run = demo_run();

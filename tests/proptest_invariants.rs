@@ -115,6 +115,72 @@ fn waterfill_conserves_and_caps() {
     }
 }
 
+/// Waterfill's convergence tolerances are relative to the problem's
+/// magnitude: the same random shapes must conserve and cap at scales from
+/// 1e-15 to 1e+15, where an absolute epsilon either spins (huge inputs
+/// never get within 1e-12 of converged) or leaks the whole amount back
+/// (tiny inputs read as converged immediately).
+#[test]
+fn waterfill_conserves_at_extreme_magnitudes() {
+    for case in 0..200u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5A17_2100 + case);
+        let scale = [1e-15f64, 1e-9, 1.0, 1e9, 1e15][(case % 5) as usize];
+        let weights = vec_f64(&mut rng, 0.0, 5.0, 1, 11);
+        let caps: Vec<f64> = vec_f64(&mut rng, 0.0, 8.0, weights.len(), weights.len())
+            .iter()
+            .map(|c| c * scale)
+            .collect();
+        let amount = rng.gen_range(0.0..40.0) * scale;
+        let mut out = vec![0.0; weights.len()];
+        let left = waterfill(&weights, &caps, amount, &mut out);
+        let placed: f64 = out.iter().sum();
+        assert!(
+            (placed + left - amount).abs() < 1e-6 * scale.max(1.0),
+            "case {case} scale {scale}: placed {placed} + left {left} != {amount}"
+        );
+        for i in 0..weights.len() {
+            assert!(out[i] <= caps[i] * (1.0 + 1e-9), "case {case} scale {scale}");
+            if weights[i] == 0.0 {
+                assert!(out[i] == 0.0, "case {case} scale {scale}");
+            }
+        }
+    }
+}
+
+/// Mass conservation must survive measurement windows whose bounds sit off
+/// the slice boundaries: placed + overflow equals `avg × true duration`
+/// (in units × slices), not `avg × snapped slice count`.
+#[test]
+fn upsampling_conserves_true_mass_for_off_boundary_windows() {
+    for case in 0..200u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5A17_3100 + case);
+        let n = rng.gen_range(4..15usize);
+        let exact = vec_f64(&mut rng, 0.0, 6.0, n, n);
+        let variable = vec_f64(&mut rng, 0.0, 3.0, n, n);
+        let avg = rng.gen_range(0.0..5.0);
+        let capacity = rng.gen_range(1.0..6.0);
+        let grid = TimesliceGrid::covering(0, n as u64 * 10 * MILLIS, 10 * MILLIS);
+        // Arbitrary sub-slice bounds inside the grid, never snapped-aligned
+        // by construction.
+        let start = rng.gen_range(0..(n as u64 - 2) * 10 * MILLIS);
+        let end = rng.gen_range(start + 1..n as u64 * 10 * MILLIS);
+        let m = Measurement { start, end, avg };
+        let true_slices = (end - start) as f64 / (10 * MILLIS) as f64;
+        let mut out = vec![0.0; n];
+        let overflow = upsample_measurement(&m, &grid, &exact, &variable, capacity, &mut out);
+        let placed: f64 = out.iter().sum();
+        assert!(
+            (placed + overflow - avg * true_slices).abs() < 1e-6,
+            "case {case}: [{start},{end}) placed {placed} + overflow {overflow} \
+             != {avg} × {true_slices}"
+        );
+        for &v in &out {
+            assert!(v <= capacity + 1e-6, "case {case}");
+            assert!(v >= -1e-12, "case {case}");
+        }
+    }
+}
+
 #[test]
 fn upsampling_conserves_total_and_capacity() {
     for case in 0..200u64 {
