@@ -1,0 +1,421 @@
+//! The campaign's write-ahead journal.
+//!
+//! Every mix writes a `started` record before it runs and an fsync'd
+//! `finished` or `failed` marker after, so the on-disk journal always
+//! bounds what a crashed campaign was doing: finished mixes are durable,
+//! started-but-unfinished mixes were in flight when the process died, and
+//! everything else never ran. `--resume` replays the journal (and the
+//! result store) instead of recomputing.
+//!
+//! The format is JSON lines — one self-checking record per line, each
+//! carrying an FNV checksum of its own payload. Reload tolerates exactly
+//! the damage a SIGKILL can cause: a torn final line (no trailing
+//! newline) is truncated away before appending resumes, and any complete
+//! line that fails to parse or checksum is quarantined — counted and
+//! skipped, never fatal and never trusted.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::Value;
+
+use crate::error::Grade10Error;
+
+use super::hash::fnv1a;
+
+/// Version tag in the journal header record. Bump on any change to the
+/// record schema; resume refuses journals from a different version rather
+/// than misreading them.
+pub const JOURNAL_FORMAT_VERSION: u64 = 1;
+
+/// An open, append-only campaign journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: std::fs::File,
+}
+
+/// What replaying a journal on `--resume` learned, keyed by mix content
+/// hash.
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// Mixes with a durable `finished` marker.
+    pub finished: BTreeSet<u64>,
+    /// Mixes whose last run failed permanently: hash → (error, attempts).
+    /// Resume re-runs them — a past failure earns a fresh chance, and a
+    /// deterministic failure will simply fail identically.
+    pub failed: BTreeMap<u64, (String, u32)>,
+    /// Mixes that started (possibly several times across interrupted
+    /// runs) — in flight when a previous run died, unless also finished
+    /// or failed.
+    pub started: BTreeSet<u64>,
+    /// Records skipped on reload: torn tails, checksum mismatches,
+    /// unparseable lines, unknown record kinds.
+    pub quarantined: usize,
+}
+
+impl JournalReplay {
+    /// Mixes that were in flight when the journal's writer died.
+    pub fn interrupted(&self) -> BTreeSet<u64> {
+        self.started
+            .iter()
+            .filter(|h| !self.finished.contains(h) && !self.failed.contains_key(h))
+            .copied()
+            .collect()
+    }
+}
+
+/// Serializes record fields plus a trailing checksum of them into one
+/// journal line.
+fn render_record(fields: &[(&str, Value)]) -> Result<String, Grade10Error> {
+    let payload: Vec<(String, Value)> = fields
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
+    let crc = fnv1a(serde_json::to_string(&Value::Object(payload.clone()))?.as_bytes());
+    let mut full = payload;
+    full.push(("crc".to_string(), Value::UInt(crc)));
+    let mut line = serde_json::to_string(&Value::Object(full))?;
+    line.push('\n');
+    Ok(line)
+}
+
+/// Parses one journal line, verifying its checksum. Returns the payload
+/// entries (checksum removed) or `None` for any damaged line.
+fn parse_record(line: &str) -> Option<Vec<(String, Value)>> {
+    let Ok(Value::Object(mut entries)) = serde_json::from_str::<Value>(line) else {
+        return None;
+    };
+    let (key, crc) = entries.pop()?;
+    if key != "crc" {
+        return None;
+    }
+    let Value::UInt(crc) = crc else { return None };
+    let payload = Value::Object(entries);
+    let expect = fnv1a(serde_json::to_string(&payload).ok()?.as_bytes());
+    if crc != expect {
+        return None;
+    }
+    let Value::Object(entries) = payload else {
+        return None;
+    };
+    Some(entries)
+}
+
+fn field<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn uint_field(entries: &[(String, Value)], key: &str) -> Option<u64> {
+    match field(entries, key)? {
+        Value::UInt(n) => Some(*n),
+        _ => None,
+    }
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path` and writes its fsync'd header.
+    /// Fails if the file already exists — starting a campaign over a live
+    /// journal without `--resume` would silently fork its history.
+    pub fn create(path: &Path, campaign: &str) -> Result<Journal, Grade10Error> {
+        let file = std::fs::OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| Grade10Error::Io(format!("creating {}: {e}", path.display())))?;
+        let mut journal = Journal { file };
+        journal.append(
+            &[
+                ("record", Value::Str("header".to_string())),
+                ("version", Value::UInt(JOURNAL_FORMAT_VERSION)),
+                ("campaign", Value::Str(campaign.to_string())),
+            ],
+            true,
+        )?;
+        Ok(journal)
+    }
+
+    /// Opens an existing journal for resumption: replays its records,
+    /// truncates any torn tail so appends start on a record boundary, and
+    /// reopens for appending. A missing file degenerates to
+    /// [`create`](Self::create) — resuming nothing is a fresh start.
+    pub fn open_resume(path: &Path, campaign: &str) -> Result<(Journal, JournalReplay), Grade10Error> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok((Journal::create(path, campaign)?, JournalReplay::default()));
+            }
+            Err(e) => return Err(Grade10Error::Io(format!("reading {}: {e}", path.display()))),
+        };
+        let mut replay = JournalReplay::default();
+        // A record is only complete once its newline is on disk; anything
+        // after the last newline is a torn tail from an unclean death.
+        let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+        if keep < bytes.len() {
+            replay.quarantined += 1;
+        }
+        let text = String::from_utf8_lossy(&bytes[..keep]);
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Some(entries) = parse_record(line) else {
+                replay.quarantined += 1;
+                continue;
+            };
+            let kind = match field(&entries, "record") {
+                Some(Value::Str(s)) => s.clone(),
+                _ => {
+                    replay.quarantined += 1;
+                    continue;
+                }
+            };
+            match kind.as_str() {
+                "header" => {
+                    let version = uint_field(&entries, "version").unwrap_or(0);
+                    if version != JOURNAL_FORMAT_VERSION {
+                        return Err(Grade10Error::Serialization(format!(
+                            "journal {} is format version {version}, this build reads {JOURNAL_FORMAT_VERSION}",
+                            path.display()
+                        )));
+                    }
+                }
+                "started" | "finished" | "failed" | "skipped" => {
+                    let Some(hash) = uint_field(&entries, "hash") else {
+                        replay.quarantined += 1;
+                        continue;
+                    };
+                    match kind.as_str() {
+                        "started" => {
+                            replay.started.insert(hash);
+                        }
+                        "finished" => {
+                            replay.finished.insert(hash);
+                            replay.failed.remove(&hash);
+                        }
+                        "failed" => {
+                            let error = match field(&entries, "error") {
+                                Some(Value::Str(s)) => s.clone(),
+                                _ => String::new(),
+                            };
+                            let attempts = uint_field(&entries, "attempts").unwrap_or(0) as u32;
+                            replay.failed.insert(hash, (error, attempts));
+                        }
+                        _ => {} // "skipped" is informational
+                    }
+                }
+                _ => replay.quarantined += 1, // unknown record kind
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| Grade10Error::Io(format!("opening {}: {e}", path.display())))?;
+        file.set_len(keep as u64)
+            .map_err(|e| Grade10Error::Io(format!("truncating torn tail of {}: {e}", path.display())))?;
+        let mut journal = Journal { file };
+        use std::io::Seek as _;
+        journal
+            .file
+            .seek(std::io::SeekFrom::End(0))
+            .map_err(|e| Grade10Error::Io(format!("seeking {}: {e}", path.display())))?;
+        if keep == 0 {
+            // Everything (header included) was torn away: re-establish one.
+            journal.append(
+                &[
+                    ("record", Value::Str("header".to_string())),
+                    ("version", Value::UInt(JOURNAL_FORMAT_VERSION)),
+                    ("campaign", Value::Str(campaign.to_string())),
+                ],
+                true,
+            )?;
+        }
+        Ok((journal, replay))
+    }
+
+    fn append(&mut self, fields: &[(&str, Value)], durable: bool) -> Result<(), Grade10Error> {
+        let line = render_record(fields)?;
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| Grade10Error::Io(format!("journal append: {e}")))?;
+        if durable {
+            self.file
+                .sync_all()
+                .map_err(|e| Grade10Error::Io(format!("journal fsync: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Records that a mix is about to run (write-ahead, not fsync'd — a
+    /// lost `started` record only costs resume some precision about what
+    /// was in flight).
+    pub fn record_started(&mut self, mix: &str, hash: u64) -> Result<(), Grade10Error> {
+        self.append(
+            &[
+                ("record", Value::Str("started".to_string())),
+                ("mix", Value::Str(mix.to_string())),
+                ("hash", Value::UInt(hash)),
+            ],
+            false,
+        )
+    }
+
+    /// Records a durable completion marker (fsync'd; the mix's outcome is
+    /// already in the store when this lands).
+    pub fn record_finished(&mut self, mix: &str, hash: u64, attempts: u32) -> Result<(), Grade10Error> {
+        self.append(
+            &[
+                ("record", Value::Str("finished".to_string())),
+                ("mix", Value::Str(mix.to_string())),
+                ("hash", Value::UInt(hash)),
+                ("attempts", Value::UInt(u64::from(attempts))),
+            ],
+            true,
+        )
+    }
+
+    /// Records a durable permanent-failure marker (fsync'd).
+    pub fn record_failed(
+        &mut self,
+        mix: &str,
+        hash: u64,
+        error: &str,
+        attempts: u32,
+    ) -> Result<(), Grade10Error> {
+        self.append(
+            &[
+                ("record", Value::Str("failed".to_string())),
+                ("mix", Value::Str(mix.to_string())),
+                ("hash", Value::UInt(hash)),
+                ("error", Value::Str(error.to_string())),
+                ("attempts", Value::UInt(u64::from(attempts))),
+            ],
+            true,
+        )
+    }
+
+    /// Records that resume served a mix from the store without running it.
+    pub fn record_skipped(&mut self, mix: &str, hash: u64) -> Result<(), Grade10Error> {
+        self.append(
+            &[
+                ("record", Value::Str("skipped".to_string())),
+                ("mix", Value::Str(mix.to_string())),
+                ("hash", Value::UInt(hash)),
+            ],
+            false,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("g10-journal-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn full_lifecycle_replays() {
+        let path = tmp("life");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::create(&path, "c").expect("create");
+            j.record_started("a", 1).expect("rec");
+            j.record_finished("a", 1, 1).expect("rec");
+            j.record_started("b", 2).expect("rec");
+            j.record_failed("b", 2, "boom", 3).expect("rec");
+            j.record_started("c", 3).expect("rec");
+        }
+        let (_j, replay) = Journal::open_resume(&path, "c").expect("resume");
+        assert!(replay.finished.contains(&1));
+        assert_eq!(replay.failed.get(&2), Some(&("boom".to_string(), 3)));
+        assert_eq!(replay.interrupted(), BTreeSet::from([3]));
+        assert_eq!(replay.quarantined, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn create_refuses_existing_journal() {
+        let path = tmp("dup");
+        let _ = std::fs::remove_file(&path);
+        let _j = Journal::create(&path, "c").expect("create");
+        assert!(Journal::create(&path, "c").is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::create(&path, "c").expect("create");
+            j.record_finished("a", 1, 1).expect("rec");
+        }
+        // Simulate a SIGKILL mid-append: a record prefix with no newline.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).expect("open");
+            f.write_all(b"{\"record\":\"finis").expect("tear");
+        }
+        let (mut j, replay) = Journal::open_resume(&path, "c").expect("resume");
+        assert_eq!(replay.quarantined, 1, "torn tail counted");
+        assert!(replay.finished.contains(&1), "intact records survive");
+        j.record_finished("b", 2, 1).expect("append after truncate");
+        drop(j);
+        let (_j, replay) = Journal::open_resume(&path, "c").expect("second resume");
+        assert_eq!(replay.quarantined, 0, "tail was repaired");
+        assert!(replay.finished.contains(&2));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_interior_record_is_quarantined_not_fatal() {
+        let path = tmp("corrupt");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::create(&path, "c").expect("create");
+            j.record_finished("a", 1, 1).expect("rec");
+            j.record_finished("b", 2, 1).expect("rec");
+        }
+        // Flip a byte inside the first finished record's mix name; its
+        // checksum no longer matches.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let pos = bytes
+            .windows(3)
+            .position(|w| w == b"\"a\"")
+            .expect("find payload");
+        bytes[pos + 1] = b'z';
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let (_j, replay) = Journal::open_resume(&path, "c").expect("resume");
+        assert_eq!(replay.quarantined, 1);
+        assert!(!replay.finished.contains(&1), "damaged record not trusted");
+        assert!(replay.finished.contains(&2), "later records unaffected");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn future_format_version_is_refused() {
+        let path = tmp("ver");
+        let _ = std::fs::remove_file(&path);
+        let line = render_record(&[
+            ("record", Value::Str("header".to_string())),
+            ("version", Value::UInt(JOURNAL_FORMAT_VERSION + 1)),
+            ("campaign", Value::Str("c".to_string())),
+        ])
+        .expect("render");
+        std::fs::write(&path, line).expect("write");
+        assert!(Journal::open_resume(&path, "c").is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_of_missing_journal_is_a_fresh_start() {
+        let path = tmp("fresh");
+        let _ = std::fs::remove_file(&path);
+        let (_j, replay) = Journal::open_resume(&path, "c").expect("resume");
+        assert!(replay.finished.is_empty());
+        assert!(path.exists(), "journal created with header");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,43 @@
+//! Screening campaigns under a durable robustness envelope.
+//!
+//! A campaign is the fleet-screening methodology promoted to a
+//! first-class citizen: a declarative spec (workload × graph scale ×
+//! engine × partitioning × fault plan) expands into a deterministic mix
+//! matrix, and every mix runs under the same protections Grade10 gives
+//! individual characterizations — plus durability across process death:
+//!
+//! - **Result store** ([`store`]): every finished mix is persisted under
+//!   a content hash of its spec entry and the code version, written
+//!   atomically. Re-launching skips finished work; editing one axis
+//!   value re-runs exactly the affected mixes; bumping
+//!   [`CODE_VERSION`] re-runs everything.
+//! - **Write-ahead journal** ([`journal`]): append-only, self-checking
+//!   records with fsync'd completion markers. A SIGKILL'd campaign is
+//!   resumable with `--resume`; torn or corrupt records are quarantined,
+//!   never trusted and never fatal.
+//! - **Retry ladder** ([`scheduler`]): failed mixes retry with bounded
+//!   exponential backoff and deterministic jitter, escalating strict →
+//!   lenient → partial; a mix that exhausts the ladder becomes a
+//!   campaign-level [`Incident`](crate::supervise::Incident) instead of
+//!   aborting the campaign.
+//!
+//! The final report (text + JSON, rendered by
+//! [`report::campaign_report`](crate::report::campaign_report)) ranks
+//! mixes by makespan, flags configurations whose bottleneck classes
+//! differ from the rest of the matrix, and carries the incident log — and
+//! is a pure function of the outcomes, so a resumed campaign's report is
+//! byte-identical to an uninterrupted one.
+
+mod hash;
+mod journal;
+mod scheduler;
+mod spec;
+mod store;
+
+pub use hash::{fnv1a, fnv1a_extend};
+pub use journal::{Journal, JournalReplay, JOURNAL_FORMAT_VERSION};
+pub use scheduler::{
+    ladder_mode, run_campaign, CampaignOptions, CampaignRun, MixAttempt, MixMode,
+};
+pub use spec::{CampaignSpec, MixSpec, CODE_VERSION};
+pub use store::{atomic_write, MixOutcome, Store};

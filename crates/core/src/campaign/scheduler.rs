@@ -1,0 +1,499 @@
+//! The campaign scheduler: fans the mix matrix over a worker pool under
+//! the durability envelope.
+//!
+//! Each mix runs at most once per launch, behind three layers of armor:
+//! the result store memoizes finished mixes across launches, the journal
+//! write-ahead-logs every state change so a SIGKILL'd campaign resumes
+//! instead of restarting, and a retry ladder (bounded exponential backoff
+//! with deterministic jitter, escalating strict → lenient → partial)
+//! absorbs transient failures before a mix is given up on. A mix that
+//! exhausts its ladder becomes a campaign-level [`Incident`] and the
+//! campaign carries on — one pathological configuration must never cost
+//! the other results of an overnight screening run.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use crate::error::Grade10Error;
+use crate::supervise::{
+    panic_message, pool_map, Incident, IncidentKind, IncidentOutcome, RetryPolicy,
+};
+
+use super::journal::{Journal, JournalReplay};
+use super::spec::{CampaignSpec, MixSpec};
+use super::store::{atomic_write, MixOutcome, Store};
+
+/// Which rung of the degradation ladder a mix attempt runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MixMode {
+    /// Strict ingestion: corrupt telemetry is rejected.
+    Strict,
+    /// Lenient ingestion: telemetry is repaired first.
+    Lenient,
+    /// Fully supervised run producing a partial characterization if
+    /// stages or machines drop.
+    Partial,
+}
+
+impl MixMode {
+    /// Short lowercase name, stored in outcomes and printed in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MixMode::Strict => "strict",
+            MixMode::Lenient => "lenient",
+            MixMode::Partial => "partial",
+        }
+    }
+}
+
+/// The ladder: attempt 0 runs at the campaign's base mode, the first
+/// retry of a strict mix relaxes to lenient, and everything after runs
+/// supervised, where a partial characterization still counts as a result.
+pub fn ladder_mode(base: MixMode, attempt: u32) -> MixMode {
+    match (base, attempt) {
+        (_, 0) => base,
+        (MixMode::Strict, 1) => MixMode::Lenient,
+        _ => MixMode::Partial,
+    }
+}
+
+/// One attempt handed to the mix runner.
+#[derive(Clone, Copy, Debug)]
+pub struct MixAttempt {
+    /// 0-based attempt index within this mix's ladder.
+    pub index: u32,
+    /// The ladder rung to run at.
+    pub mode: MixMode,
+}
+
+/// How a campaign executes: where its durable state lives and how hard
+/// it fights for each mix.
+#[derive(Clone, Debug)]
+pub struct CampaignOptions {
+    /// Campaign directory holding `journal.jsonl`, `store/`, and the
+    /// final reports.
+    pub dir: PathBuf,
+    /// Resume a previous launch: replay the journal, serve finished
+    /// mixes from the store, re-run the rest. Without this, an existing
+    /// journal in `dir` is an error.
+    pub resume: bool,
+    /// Worker-pool width for fanning out mixes (clamped to at least 1).
+    /// Reports are byte-identical at any width.
+    pub width: usize,
+    /// Per-mix retry/backoff policy (normally copied from
+    /// [`SuperviseConfig::retry`](crate::supervise::SuperviseConfig)).
+    pub retry: RetryPolicy,
+    /// Ladder rung attempt 0 runs at.
+    pub base_mode: MixMode,
+    /// Test-only crash simulation: stop claiming new mixes after this
+    /// many executions have started, leaving the campaign interrupted
+    /// exactly as a kill signal would (minus the torn bytes). `None` in
+    /// production.
+    pub stop_after: Option<usize>,
+}
+
+impl CampaignOptions {
+    /// Options with production defaults, rooted at `dir`.
+    pub fn new(dir: PathBuf) -> CampaignOptions {
+        CampaignOptions {
+            dir,
+            resume: false,
+            width: 1,
+            retry: RetryPolicy::default(),
+            base_mode: MixMode::Strict,
+            stop_after: None,
+        }
+    }
+}
+
+/// What one campaign launch produced.
+#[derive(Debug)]
+pub struct CampaignRun {
+    /// Surviving outcomes, in mix-matrix order (the report ranks its own
+    /// copy).
+    pub outcomes: Vec<MixOutcome>,
+    /// Campaign-level incidents: one per mix that exhausted its ladder.
+    pub incidents: Vec<Incident>,
+    /// Mixes actually executed this launch.
+    pub executed: usize,
+    /// Mixes served from the store without running.
+    pub cached: usize,
+    /// Mixes that failed permanently this launch.
+    pub failed: usize,
+    /// Journal records quarantined while resuming.
+    pub quarantined_journal: usize,
+    /// True when a `stop_after` budget interrupted the launch before the
+    /// matrix completed; no report was written.
+    pub interrupted: bool,
+    /// Rendered text report (empty when interrupted).
+    pub report_text: String,
+    /// Rendered JSON report (empty when interrupted).
+    pub report_json: String,
+}
+
+impl CampaignRun {
+    /// True when every mix characterized completely with no campaign
+    /// incidents — the exit-code-0 condition. Mixes that needed retries
+    /// but finished clean still count as clean; degraded (partial) or
+    /// incident-bearing outcomes do not.
+    pub fn is_clean(&self) -> bool {
+        !self.interrupted
+            && self.incidents.is_empty()
+            && self.outcomes.iter().all(|o| !o.degraded && o.incidents == 0)
+    }
+}
+
+/// How one mix ended inside the pool.
+enum MixResult {
+    Done { outcome: MixOutcome, cached: bool },
+    Failed(Incident),
+    NotRun,
+}
+
+/// Runs (or resumes) a campaign: expands the spec, fans the matrix over
+/// the pool, and writes `report.txt` / `report.json` into the campaign
+/// directory. The `runner` characterizes one mix at one ladder rung; it
+/// fills the measurement fields of [`MixOutcome`] (`makespan_ns`,
+/// `classes`, `incidents`, `degraded`) and the scheduler normalizes the
+/// identity fields (`mix`, `hash`, `attempts`, `mode`). Runner panics are
+/// captured and enter the retry ladder like classified errors.
+pub fn run_campaign<F>(
+    spec: &CampaignSpec,
+    opts: &CampaignOptions,
+    runner: F,
+) -> Result<CampaignRun, Grade10Error>
+where
+    F: Fn(&MixSpec, MixAttempt) -> Result<MixOutcome, Grade10Error> + Sync,
+{
+    let mixes = spec.expand();
+    if mixes.is_empty() {
+        return Err(Grade10Error::Serialization(
+            "campaign spec expands to zero mixes".to_string(),
+        ));
+    }
+    std::fs::create_dir_all(&opts.dir)
+        .map_err(|e| Grade10Error::Io(format!("creating {}: {e}", opts.dir.display())))?;
+    let store = Store::open(&opts.dir.join("store"))?;
+    let journal_path = opts.dir.join("journal.jsonl");
+    let (journal, replay) = if opts.resume {
+        Journal::open_resume(&journal_path, &spec.name)?
+    } else {
+        if journal_path.exists() {
+            return Err(Grade10Error::Io(format!(
+                "{} already holds a campaign journal; pass --resume to continue it or use a fresh directory",
+                opts.dir.display()
+            )));
+        }
+        (Journal::create(&journal_path, &spec.name)?, JournalReplay::default())
+    };
+    let journal = Mutex::new(journal);
+    let interrupted = AtomicBool::new(false);
+    let claimed = AtomicUsize::new(0);
+
+    let items: Vec<(MixSpec, u64)> = mixes
+        .into_iter()
+        .map(|m| {
+            let h = m.content_hash(&spec.code_version);
+            (m, h)
+        })
+        .collect();
+    let width = opts.width.max(1).min(items.len());
+
+    let results = pool_map(width, items, |_, (mix, hash)| {
+        run_one_mix(&mix, hash, opts, &store, &journal, &interrupted, &claimed, &runner)
+    });
+
+    let mut run = CampaignRun {
+        outcomes: Vec::new(),
+        incidents: Vec::new(),
+        executed: 0,
+        cached: 0,
+        failed: 0,
+        quarantined_journal: replay.quarantined,
+        interrupted: interrupted.load(Ordering::SeqCst),
+        report_text: String::new(),
+        report_json: String::new(),
+    };
+    for r in results {
+        match r {
+            MixResult::Done { outcome, cached } => {
+                if cached {
+                    run.cached += 1;
+                } else {
+                    run.executed += 1;
+                }
+                run.outcomes.push(outcome);
+            }
+            MixResult::Failed(incident) => {
+                run.failed += 1;
+                run.executed += 1;
+                run.incidents.push(incident);
+            }
+            MixResult::NotRun => {}
+        }
+    }
+    if run.interrupted {
+        // The launch died before covering the matrix: leave the journal
+        // and store as the durable record, write no report.
+        return Ok(run);
+    }
+    let report = crate::report::campaign_report(&spec.name, &run.outcomes, &run.incidents);
+    atomic_write(&opts.dir.join("report.txt"), report.text.as_bytes())
+        .map_err(|e| Grade10Error::Io(format!("writing report.txt: {e}")))?;
+    atomic_write(&opts.dir.join("report.json"), report.json.as_bytes())
+        .map_err(|e| Grade10Error::Io(format!("writing report.json: {e}")))?;
+    run.report_text = report.text;
+    run.report_json = report.json;
+    Ok(run)
+}
+
+/// Executes one mix under the envelope: store lookup, write-ahead record,
+/// retry ladder, durable completion marker.
+#[allow(clippy::too_many_arguments)]
+fn run_one_mix<F>(
+    mix: &MixSpec,
+    hash: u64,
+    opts: &CampaignOptions,
+    store: &Store,
+    journal: &Mutex<Journal>,
+    interrupted: &AtomicBool,
+    claimed: &AtomicUsize,
+    runner: &F,
+) -> MixResult
+where
+    F: Fn(&MixSpec, MixAttempt) -> Result<MixOutcome, Grade10Error> + Sync,
+{
+    let id = mix.id();
+    if interrupted.load(Ordering::SeqCst) {
+        return MixResult::NotRun;
+    }
+    if opts.resume {
+        if let Some(prev) = store.load(hash) {
+            let mut j = journal.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ = j.record_skipped(&id, hash);
+            return MixResult::Done { outcome: prev, cached: true };
+        }
+    }
+    if let Some(limit) = opts.stop_after {
+        if claimed.fetch_add(1, Ordering::SeqCst) >= limit {
+            interrupted.store(true, Ordering::SeqCst);
+            return MixResult::NotRun;
+        }
+    }
+    let journal_incident = |attempts: u32, e: Grade10Error| {
+        MixResult::Failed(Incident {
+            stage: "campaign",
+            unit: id.clone(),
+            kind: IncidentKind::of(&e),
+            detail: e.to_string(),
+            attempts,
+            outcome: IncidentOutcome::Dropped,
+        })
+    };
+    {
+        let mut j = journal.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Err(e) = j.record_started(&id, hash) {
+            return journal_incident(0, e);
+        }
+    }
+    let max_attempts = opts.retry.max_attempts.max(1);
+    let mut attempts_made = 0;
+    let mut last_err: Option<Grade10Error> = None;
+    for k in 0..max_attempts {
+        attempts_made = k + 1;
+        let attempt = MixAttempt {
+            index: k,
+            mode: ladder_mode(opts.base_mode, k),
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| runner(mix, attempt)))
+            .unwrap_or_else(|p| Err(Grade10Error::StagePanicked(panic_message(p.as_ref()))));
+        match result {
+            Ok(mut outcome) => {
+                outcome.mix = mix.clone();
+                outcome.hash = hash;
+                outcome.attempts = attempts_made;
+                outcome.mode = attempt.mode.name().to_string();
+                if let Err(e) = store.put(&outcome) {
+                    last_err = Some(e);
+                    break;
+                }
+                let mut j = journal.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Err(e) = j.record_finished(&id, hash, attempts_made) {
+                    return journal_incident(attempts_made, e);
+                }
+                return MixResult::Done { outcome, cached: false };
+            }
+            Err(e) => {
+                let fatal = !e.is_recoverable();
+                last_err = Some(e);
+                if fatal {
+                    break;
+                }
+                if k + 1 < max_attempts {
+                    std::thread::sleep(opts.retry.backoff_delay(k, hash));
+                }
+            }
+        }
+    }
+    let err = last_err
+        .unwrap_or_else(|| Grade10Error::StagePanicked("mix produced no result".to_string()));
+    {
+        let mut j = journal.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = j.record_failed(&id, hash, &err.to_string(), attempts_made);
+    }
+    journal_incident(attempts_made, err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "unit".into(),
+            code_version: "t1".into(),
+            algorithms: vec!["pr".into(), "bfs".into()],
+            datasets: vec!["rmat:6".into()],
+            engines: vec!["giraph".into()],
+            machines: vec![2],
+            seeds: vec![46],
+            faults: vec!["none".into()],
+        }
+    }
+
+    fn opts(dir: &str) -> CampaignOptions {
+        let mut o = CampaignOptions::new(
+            std::env::temp_dir().join(format!("g10-sched-{dir}-{}", std::process::id())),
+        );
+        o.retry.base = Duration::ZERO;
+        o
+    }
+
+    fn fake_runner(mix: &MixSpec, _a: MixAttempt) -> Result<MixOutcome, Grade10Error> {
+        Ok(MixOutcome {
+            mix: mix.clone(),
+            hash: 0,
+            makespan_ns: 1_000_000 * u64::from(mix.machines),
+            classes: vec![format!("bottleneck:{}", mix.algorithm)],
+            incidents: 0,
+            degraded: false,
+            attempts: 0,
+            mode: String::new(),
+        })
+    }
+
+    #[test]
+    fn ladder_escalates_strict_lenient_partial() {
+        assert_eq!(ladder_mode(MixMode::Strict, 0), MixMode::Strict);
+        assert_eq!(ladder_mode(MixMode::Strict, 1), MixMode::Lenient);
+        assert_eq!(ladder_mode(MixMode::Strict, 2), MixMode::Partial);
+        assert_eq!(ladder_mode(MixMode::Lenient, 0), MixMode::Lenient);
+        assert_eq!(ladder_mode(MixMode::Lenient, 1), MixMode::Partial);
+        assert_eq!(ladder_mode(MixMode::Partial, 0), MixMode::Partial);
+    }
+
+    #[test]
+    fn clean_campaign_completes_and_reports() {
+        let o = opts("clean");
+        let _ = std::fs::remove_dir_all(&o.dir);
+        let run = run_campaign(&spec(), &o, fake_runner).expect("run");
+        assert!(run.is_clean());
+        assert_eq!(run.executed, 2);
+        assert_eq!(run.cached, 0);
+        assert!(!run.report_text.is_empty());
+        assert!(o.dir.join("report.txt").exists());
+        assert!(o.dir.join("journal.jsonl").exists());
+        let _ = std::fs::remove_dir_all(&o.dir);
+    }
+
+    #[test]
+    fn relaunch_without_resume_is_refused() {
+        let o = opts("norerun");
+        let _ = std::fs::remove_dir_all(&o.dir);
+        run_campaign(&spec(), &o, fake_runner).expect("first run");
+        let e = run_campaign(&spec(), &o, fake_runner).unwrap_err();
+        assert!(e.to_string().contains("resume"), "{e}");
+        let _ = std::fs::remove_dir_all(&o.dir);
+    }
+
+    #[test]
+    fn resume_serves_finished_mixes_from_store() {
+        let o = opts("cache");
+        let _ = std::fs::remove_dir_all(&o.dir);
+        let first = run_campaign(&spec(), &o, fake_runner).expect("first");
+        let mut o2 = o.clone();
+        o2.resume = true;
+        let second = run_campaign(&spec(), &o2, |_mix, _a| {
+            panic!("nothing should execute on a fully cached resume")
+        })
+        .expect("resume");
+        assert_eq!(second.cached, 2);
+        assert_eq!(second.executed, 0);
+        assert_eq!(second.report_text, first.report_text, "byte-identical");
+        assert_eq!(second.report_json, first.report_json);
+        let _ = std::fs::remove_dir_all(&o.dir);
+    }
+
+    #[test]
+    fn transient_failure_retries_up_the_ladder_and_succeeds() {
+        let o = opts("retry");
+        let _ = std::fs::remove_dir_all(&o.dir);
+        let run = run_campaign(&spec(), &o, |mix, a| {
+            if mix.algorithm == "pr" && a.index == 0 {
+                return Err(Grade10Error::MalformedLog("first attempt chaos".into()));
+            }
+            fake_runner(mix, a)
+        })
+        .expect("run");
+        assert!(run.incidents.is_empty());
+        let pr = run
+            .outcomes
+            .iter()
+            .find(|o| o.mix.algorithm == "pr")
+            .expect("pr outcome");
+        assert_eq!(pr.attempts, 2);
+        assert_eq!(pr.mode, "lenient", "retried one rung down the ladder");
+        let _ = std::fs::remove_dir_all(&o.dir);
+    }
+
+    #[test]
+    fn permanent_failure_becomes_incident_not_abort() {
+        let o = opts("perm");
+        let _ = std::fs::remove_dir_all(&o.dir);
+        let run = run_campaign(&spec(), &o, |mix, a| {
+            if mix.algorithm == "bfs" {
+                panic!("bfs always dies");
+            }
+            fake_runner(mix, a)
+        })
+        .expect("run");
+        assert!(!run.is_clean());
+        assert_eq!(run.outcomes.len(), 1, "surviving mix still reported");
+        assert_eq!(run.incidents.len(), 1);
+        let i = &run.incidents[0];
+        assert_eq!(i.stage, "campaign");
+        assert_eq!(i.kind, IncidentKind::Panic);
+        assert_eq!(i.attempts, 3, "whole ladder exhausted");
+        assert!(run.report_text.contains("bfs"), "incident in report");
+        let _ = std::fs::remove_dir_all(&o.dir);
+    }
+
+    #[test]
+    fn fatal_errors_stop_the_ladder_early() {
+        let o = opts("fatal");
+        let _ = std::fs::remove_dir_all(&o.dir);
+        let run = run_campaign(&spec(), &o, |mix, a| {
+            if mix.algorithm == "bfs" {
+                return Err(Grade10Error::ModelMismatch("wrong model".into()));
+            }
+            fake_runner(mix, a)
+        })
+        .expect("run");
+        assert_eq!(run.incidents.len(), 1);
+        assert_eq!(run.incidents[0].attempts, 1, "no retries for fatal errors");
+        let _ = std::fs::remove_dir_all(&o.dir);
+    }
+}

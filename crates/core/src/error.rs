@@ -38,6 +38,10 @@ pub enum Grade10Error {
     /// A supervised pipeline unit panicked; the panic was captured and the
     /// rest of the pipeline continued.
     StagePanicked(String),
+    /// The filesystem failed underneath a durable artifact (campaign
+    /// journal, result store, report). Retrying the computation cannot
+    /// help; the environment is broken.
+    Io(String),
 }
 
 impl Grade10Error {
@@ -51,7 +55,8 @@ impl Grade10Error {
             | Grade10Error::Serialization(s)
             | Grade10Error::Deadline(s)
             | Grade10Error::BudgetExceeded(s)
-            | Grade10Error::StagePanicked(s) => s,
+            | Grade10Error::StagePanicked(s)
+            | Grade10Error::Io(s) => s,
         }
     }
 
@@ -69,7 +74,9 @@ impl Grade10Error {
             | Grade10Error::Deadline(_)
             | Grade10Error::BudgetExceeded(_)
             | Grade10Error::StagePanicked(_) => true,
-            Grade10Error::ModelMismatch(_) | Grade10Error::Serialization(_) => false,
+            Grade10Error::ModelMismatch(_)
+            | Grade10Error::Serialization(_)
+            | Grade10Error::Io(_) => false,
         }
     }
 }
@@ -85,6 +92,7 @@ impl fmt::Display for Grade10Error {
             Grade10Error::Deadline(s) => write!(f, "deadline exceeded: {s}"),
             Grade10Error::BudgetExceeded(s) => write!(f, "budget exceeded: {s}"),
             Grade10Error::StagePanicked(s) => write!(f, "stage panicked: {s}"),
+            Grade10Error::Io(s) => write!(f, "io: {s}"),
         }
     }
 }
@@ -100,6 +108,12 @@ impl From<Grade10Error> for String {
 impl From<serde_json::Error> for Grade10Error {
     fn from(e: serde_json::Error) -> Grade10Error {
         Grade10Error::Serialization(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for Grade10Error {
+    fn from(e: std::io::Error) -> Grade10Error {
+        Grade10Error::Io(e.to_string())
     }
 }
 
@@ -133,6 +147,8 @@ mod tests {
         assert!(Grade10Error::Deadline("x".into()).is_recoverable());
         assert!(Grade10Error::BudgetExceeded("x".into()).is_recoverable());
         assert!(Grade10Error::StagePanicked("x".into()).is_recoverable());
+        // A broken filesystem cannot be repaired by degraded re-runs.
+        assert!(!Grade10Error::Io("disk full".into()).is_recoverable());
     }
 
     #[test]

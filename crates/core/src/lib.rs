@@ -71,6 +71,7 @@
 
 pub mod attribution;
 pub mod bottleneck;
+pub mod campaign;
 pub mod compare;
 pub mod config;
 pub mod error;
@@ -88,6 +89,10 @@ pub mod supervise;
 pub mod trace;
 
 pub use attribution::{build_profile, PerformanceProfile, ProfileConfig, UpsampleMode};
+pub use campaign::{
+    run_campaign, CampaignOptions, CampaignRun, CampaignSpec, MixAttempt, MixMode, MixOutcome,
+    MixSpec,
+};
 pub use config::Parallelism;
 pub use error::Grade10Error;
 pub use pipeline::{
@@ -97,8 +102,8 @@ pub use pipeline::{
 pub use bottleneck::{BottleneckConfig, BottleneckReport};
 pub use supervise::{
     characterize_events_supervised, ChaosMode, ChaosPoint, Coverage, Incident, IncidentKind,
-    IncidentOutcome, MachineCoverage, PartialCharacterization, StageCoverage, StageStatus,
-    SuperviseConfig, UnitStatus,
+    IncidentOutcome, MachineCoverage, PartialCharacterization, RetryPolicy, StageCoverage,
+    StageStatus, SuperviseConfig, UnitStatus,
 };
 pub use issues::{IssueConfig, IssueKind, PerformanceIssue};
 pub use model::{AttributionRule, ExecutionModel, ExecutionModelBuilder, Repeat, RuleSet};

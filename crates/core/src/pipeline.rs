@@ -89,6 +89,32 @@ impl Characterization {
     pub fn top_issue(&self) -> Option<&PerformanceIssue> {
         self.issues.first()
     }
+
+    /// Stable class labels for the detected issues, deduplicated and
+    /// sorted: `bottleneck:<kind>` for consumable bottlenecks,
+    /// `blocking:<kind>` for blocking ones, `imbalance:<type path>` for
+    /// imbalance. Campaign reports diff these sets across mixes to flag
+    /// configurations that surface *new* bottleneck classes.
+    pub fn issue_classes(&self, model: &ExecutionModel) -> Vec<String> {
+        let mut classes: Vec<String> = self
+            .issues
+            .iter()
+            .map(|i| match &i.kind {
+                IssueKind::ConsumableBottleneck { resource_kind } => {
+                    format!("bottleneck:{resource_kind}")
+                }
+                IssueKind::BlockingBottleneck { resource_kind } => {
+                    format!("blocking:{resource_kind}")
+                }
+                IssueKind::Imbalance { phase_type } => {
+                    format!("imbalance:{}", model.type_path(*phase_type))
+                }
+            })
+            .collect();
+        classes.sort();
+        classes.dedup();
+        classes
+    }
 }
 
 /// Runs the full Grade10 pipeline on already-built traces.

@@ -1,6 +1,7 @@
 //! Result presentation (component 10 of the paper's lifecycle): aligned
 //! text tables, CSV export, and time-series rendering for profiles.
 
+pub mod campaign;
 pub mod gantt;
 pub mod html;
 pub mod incidents;
@@ -9,6 +10,7 @@ pub mod summary;
 pub mod table;
 pub mod timeseries;
 
+pub use campaign::{campaign_report, CampaignReport};
 pub use gantt::{render_gantt, GanttConfig};
 pub use html::{render_html_report, HtmlConfig};
 pub use incidents::{coverage_table, incident_table};

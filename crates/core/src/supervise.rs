@@ -112,6 +112,13 @@ pub struct SuperviseConfig {
     /// `GRADE10_THREADS`, then to the machine size — see
     /// [`crate::config::resolve_threads`].
     pub threads: Option<usize>,
+    /// Retry/backoff policy for *whole-mix* re-execution under the
+    /// campaign envelope (see [`crate::campaign`]). Unit-level retries
+    /// inside one characterization are governed by
+    /// [`max_retries`](Self::max_retries); this policy governs how a
+    /// campaign re-launches an entire failed mix before recording it as
+    /// an [`Incident`].
+    pub retry: RetryPolicy,
 }
 
 impl Default for SuperviseConfig {
@@ -124,7 +131,67 @@ impl Default for SuperviseConfig {
             chaos: Vec::new(),
             parallelism: Parallelism::Auto,
             threads: None,
+            retry: RetryPolicy::default(),
         }
+    }
+}
+
+/// Bounded exponential backoff with deterministic jitter, used by the
+/// campaign scheduler between attempts of a failed mix.
+///
+/// The delay before attempt `k + 1` is `base << k`, capped at `cap`, then
+/// scaled by a jitter factor in `[1 - jitter, 1 + jitter]` derived from an
+/// FNV hash of `(salt, k)` — deterministic for a given mix, decorrelated
+/// across mixes, and entirely free of wall-clock or OS entropy so that a
+/// resumed campaign replays the same schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per mix, including the first (default 3). `0` is
+    /// treated as `1`: the first attempt always runs.
+    pub max_attempts: u32,
+    /// Delay before the first retry (default 50 ms). Zero disables
+    /// sleeping entirely — useful in tests.
+    pub base: Duration,
+    /// Upper bound on any single delay (default 2 s).
+    pub cap: Duration,
+    /// Jitter half-width as a fraction of the delay, clamped to `[0, 1]`
+    /// (default 0.5, i.e. delays vary between 50% and 150% of nominal).
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay to sleep after failed attempt `attempt` (0-based), salted
+    /// so different mixes do not retry in lockstep. Returns
+    /// `Duration::ZERO` when [`base`](Self::base) is zero.
+    pub fn backoff_delay(&self, attempt: u32, salt: u64) -> Duration {
+        if self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let shifted = self
+            .base
+            .checked_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .unwrap_or(self.cap);
+        let nominal = shifted.min(self.cap);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        // Map an FNV hash of (salt, attempt) onto [1 - jitter, 1 + jitter].
+        let h = crate::campaign::fnv1a_extend(
+            crate::campaign::fnv1a(&salt.to_le_bytes()),
+            &attempt.to_le_bytes(),
+        );
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 - jitter + 2.0 * jitter * frac;
+        nominal.mul_f64(factor).min(self.cap)
     }
 }
 
@@ -183,7 +250,7 @@ impl IncidentKind {
         }
     }
 
-    fn of(e: &Grade10Error) -> IncidentKind {
+    pub(crate) fn of(e: &Grade10Error) -> IncidentKind {
         match e {
             Grade10Error::Deadline(_) => IncidentKind::Deadline,
             Grade10Error::BudgetExceeded(_) => IncidentKind::Budget,
@@ -377,7 +444,7 @@ struct UnitRun<T> {
     first_error: Option<Grade10Error>,
 }
 
-fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = p.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = p.downcast_ref::<String>() {
@@ -514,7 +581,7 @@ fn pool_width(sup: &SuperviseConfig, units: usize) -> usize {
 /// chunk-mates queued behind it while other workers sit idle) and register
 /// with [`crate::obs`] so self-characterization attributes their CPU.
 /// `width <= 1` degenerates to an inline loop on the caller's thread.
-fn pool_map<I, T, F>(width: usize, items: Vec<I>, run: F) -> Vec<T>
+pub(crate) fn pool_map<I, T, F>(width: usize, items: Vec<I>, run: F) -> Vec<T>
 where
     I: Send,
     T: Send,

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! grade10 demo [--engine giraph|powergraph|spark]
-//!              [--algorithm pr|bfs|wcc|cdlp|sssp|lcc]
+//!              [--algorithm pr|bfs|wcc|cdlp|sssp|lcc|prc]
 //!              [--dataset rmat:SCALE|social:VERTICES] [--seed N] [--gantt]
 //!              [--work-profile] [--export-logs DIR] [--html FILE]
 //!              [--inject CLASS[,CLASS...]] [--fault-seed N] [--lenient]
@@ -30,6 +30,23 @@
 //!     dumps that meta-trace (model + events + monitoring) in the offline
 //!     formats so `grade10 analyze` can round-trip it.
 //!
+//! grade10 campaign --spec FILE --dir DIR [--resume] [--threads N]
+//!                  [--lenient]
+//!     Run a screening campaign: a declarative TOML/JSON spec (workload ×
+//!     dataset × engine × machines × seed × fault plan) expands into a mix
+//!     matrix and every mix is characterized under a durable robustness
+//!     envelope. Finished mixes are stored under a content hash of their
+//!     spec entry and the code version; an append-only, checksummed
+//!     journal write-ahead-logs progress with fsync'd completion markers.
+//!     A killed campaign resumes with `--resume` without recomputing
+//!     finished mixes, and the final report (`DIR/report.txt` +
+//!     `DIR/report.json`, ranking mixes by makespan and flagging configs
+//!     with unshared bottleneck classes) is byte-identical to an
+//!     uninterrupted run. Failing mixes retry with bounded backoff down a
+//!     degradation ladder (strict → lenient → partial); a mix that
+//!     exhausts the ladder becomes a campaign-level incident instead of
+//!     aborting the campaign.
+//!
 //! grade10 export-model --engine giraph|powergraph [-o FILE]
 //!     Write the built-in expert input (execution model, resource model,
 //!     attribution rules) as a reusable JSON bundle.
@@ -51,14 +68,20 @@
 //! Exit codes: `0` — clean characterization; `2` — the supervised pipeline
 //! completed but recorded incidents (the characterization is partial; see
 //! its incidents and coverage tables); `1` — fatal error, no
-//! characterization produced.
+//! characterization produced. `campaign` reuses the same taxonomy: `0` —
+//! every mix characterized completely; `2` — the campaign completed but
+//! with incidents or partial mixes (the report covers the survivors);
+//! `1` — fatal (unreadable spec, broken campaign directory).
 
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::{BufReader, Write};
+use std::io::BufReader;
 use std::process::ExitCode;
 
 use grade10::cluster::{FaultClass, FaultPlan, SimDuration};
+use grade10::core::campaign::{
+    atomic_write, CampaignOptions, CampaignSpec, MixAttempt, MixMode, MixOutcome, MixSpec,
+};
 use grade10::core::critical_path::critical_path;
 use grade10::core::model::ModelBundle;
 use grade10::core::obs;
@@ -108,7 +131,7 @@ enum RunStatus {
 
 const USAGE: &str = "usage:
   grade10 demo [--engine giraph|powergraph|spark]
-               [--algorithm pr|bfs|wcc|cdlp|sssp|lcc]
+               [--algorithm pr|bfs|wcc|cdlp|sssp|lcc|prc]
                [--dataset rmat:SCALE|social:VERTICES] [--seed N] [--gantt]
                [--work-profile] [--export-logs DIR] [--html FILE]
                [--inject clock-skew|reorder|drop|duplicate|truncate|monitoring|
@@ -116,6 +139,8 @@ const USAGE: &str = "usage:
                [--fault-seed N] [--lenient]
                [--partial] [--deadline-ms N] [--max-retries N]
                [--threads N] [--self-profile] [--self-export DIR]
+  grade10 campaign --spec FILE --dir DIR [--resume] [--threads N]
+                   [--lenient]
   grade10 export-model --engine giraph|powergraph [-o FILE]
   grade10 analyze --model BUNDLE.json --events EVENTS.jsonl
                   --resources RESOURCES.json [--slice-ms N] [--gantt]
@@ -126,9 +151,14 @@ const USAGE: &str = "usage:
 over-budget grids degrade or drop per-machine units instead of aborting,
 and the report ends with incident and coverage tables.
 
+campaign runs a declarative mix matrix (TOML/JSON spec) under a durable
+envelope: finished mixes are content-hash cached, progress is journaled,
+and a killed campaign resumes with --resume without recomputing finished
+mixes or changing a byte of the final report.
+
 exit codes:
-  0  clean characterization
-  2  partial characterization (supervised run completed with incidents)
+  0  clean characterization / campaign
+  2  partial: supervised run or campaign completed with incidents
   1  fatal error, no characterization produced";
 
 fn run(args: &[String]) -> Result<RunStatus, String> {
@@ -136,6 +166,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
     let flags = parse_flags(rest)?;
     match cmd.as_str() {
         "demo" => demo(&flags),
+        "campaign" => campaign(&flags),
         "export-model" => export_model(&flags),
         "analyze" => analyze(&flags),
         other => Err(format!("unknown command '{other}'")),
@@ -149,6 +180,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         "--work-profile",
         "--lenient",
         "--partial",
+        "--resume",
         "--self-profile",
     ];
     let mut out = HashMap::new();
@@ -182,14 +214,9 @@ fn demo(flags: &HashMap<String, String>) -> Result<RunStatus, String> {
         None => Dataset::Rmat { scale: 12, seed },
         Some(spec) => parse_dataset(spec, seed)?,
     };
-    let algorithm = match flags.get("--algorithm").map(String::as_str) {
-        None | Some("pr") => Algorithm::PageRank { iterations: 8 },
-        Some("bfs") => Algorithm::Bfs { root: 0 },
-        Some("wcc") => Algorithm::Wcc,
-        Some("cdlp") => Algorithm::Cdlp { iterations: 8 },
-        Some("sssp") => Algorithm::Sssp { root: 0 },
-        Some("lcc") => Algorithm::Lcc,
-        Some(other) => return Err(format!("unknown algorithm '{other}'")),
+    let algorithm = match flags.get("--algorithm") {
+        None => Algorithm::PageRank { iterations: 8 },
+        Some(name) => parse_algorithm(name)?,
     };
     // The Spark-like dataflow engine has its own job mapping; handle it
     // before the graph-native engines.
@@ -309,6 +336,176 @@ fn demo(flags: &HashMap<String, String>) -> Result<RunStatus, String> {
     Ok(RunStatus::Clean)
 }
 
+/// Runs (or resumes) a screening campaign from a declarative spec file.
+fn campaign(flags: &HashMap<String, String>) -> Result<RunStatus, String> {
+    let spec_path = flags.get("--spec").ok_or("campaign needs --spec FILE")?;
+    let dir = flags.get("--dir").ok_or("campaign needs --dir DIR")?;
+    let spec = CampaignSpec::load(std::path::Path::new(spec_path)).map_err(|e| e.to_string())?;
+    let mixes = spec.expand();
+    // Validate every axis value up front: a typo'd algorithm name should
+    // fail the launch, not surface as one incident per affected mix.
+    for mix in &mixes {
+        validate_mix(mix)?;
+    }
+    let threads = flags
+        .get("--threads")
+        .map(|s| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("bad thread count '{s}'"))
+        })
+        .transpose()?;
+    let width = grade10::core::config::resolve_threads(threads, mixes.len());
+    // With mixes fanned out across workers, each mix runs its own pipeline
+    // single-threaded; nesting pools would oversubscribe the machine.
+    let inner_threads = if width > 1 { Some(1) } else { None };
+    let mut opts = CampaignOptions::new(std::path::PathBuf::from(dir));
+    opts.resume = flags.contains_key("--resume");
+    opts.width = width;
+    opts.retry = grade10::core::supervise::SuperviseConfig::default().retry;
+    opts.base_mode = if flags.contains_key("--lenient") {
+        MixMode::Lenient
+    } else {
+        MixMode::Strict
+    };
+    eprintln!(
+        "campaign {}: {} mixes over {} worker{}{}",
+        spec.name,
+        mixes.len(),
+        width,
+        if width == 1 { "" } else { "s" },
+        if opts.resume { " (resuming)" } else { "" }
+    );
+    let run = grade10::core::campaign::run_campaign(&spec, &opts, |mix, attempt| {
+        run_mix(mix, attempt, inner_threads)
+    })
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "campaign {}: {} executed, {} cached, {} failed, {} journal records quarantined",
+        spec.name, run.executed, run.cached, run.failed, run.quarantined_journal
+    );
+    print!("{}", run.report_text);
+    eprintln!("wrote {dir}/report.txt and {dir}/report.json");
+    Ok(if run.is_clean() {
+        RunStatus::Clean
+    } else {
+        RunStatus::Partial
+    })
+}
+
+/// Checks one mix's axis values against the parsers the runner will use.
+fn validate_mix(mix: &MixSpec) -> Result<(), String> {
+    let in_mix = |e: String| format!("mix {}: {e}", mix.id());
+    parse_algorithm(&mix.algorithm).map_err(in_mix)?;
+    parse_dataset(&mix.dataset, mix.seed).map_err(in_mix)?;
+    match mix.engine.as_str() {
+        "giraph" | "powergraph" => {}
+        other => return Err(in_mix(format!("unknown engine '{other}'"))),
+    }
+    if mix.machines == 0 {
+        return Err(in_mix("machines must be at least 1".to_string()));
+    }
+    if mix.fault != "none" {
+        parse_fault_classes(&mix.fault, mix.seed).map_err(in_mix)?;
+    }
+    Ok(())
+}
+
+/// Characterizes one campaign mix at one degradation-ladder rung: simulate
+/// the workload, apply the mix's fault plan to the collected streams, then
+/// ingest strictly, leniently, or under full supervision per the rung. The
+/// scheduler owns retries and fills the outcome's identity fields.
+fn run_mix(
+    mix: &MixSpec,
+    attempt: MixAttempt,
+    inner_threads: Option<usize>,
+) -> Result<MixOutcome, grade10::core::Grade10Error> {
+    use grade10::core::Grade10Error;
+    let bad = Grade10Error::Serialization;
+    let dataset = parse_dataset(&mix.dataset, mix.seed).map_err(bad)?;
+    let algorithm = parse_algorithm(&mix.algorithm).map_err(bad)?;
+    let machines = mix.machines as usize;
+    let engine = match mix.engine.as_str() {
+        "giraph" => EngineKind::Giraph(PregelConfig {
+            machines,
+            ..Default::default()
+        }),
+        "powergraph" => EngineKind::PowerGraph(GasConfig {
+            machines,
+            ..Default::default()
+        }),
+        other => return Err(bad(format!("unknown engine '{other}'"))),
+    };
+    let spec = WorkloadSpec {
+        dataset,
+        algorithm,
+        engine,
+    };
+    let run = run_workload(&spec);
+    let (events, monitoring) = if mix.fault == "none" {
+        (
+            grade10::engines::bridge::to_raw_events(&run.sim.logs),
+            grade10::engines::bridge::to_raw_series(&run.sim.series, 8),
+        )
+    } else {
+        // The fault seed is the mix seed: the damage is part of the mix's
+        // identity, deterministic across retries and resumes.
+        let plan = parse_fault_classes(&mix.fault, mix.seed).map_err(bad)?;
+        let logs = plan.inject_logs(&run.sim.logs);
+        let series = plan.inject_series(&run.sim.series);
+        (
+            grade10::engines::bridge::to_raw_events(&logs),
+            grade10::engines::bridge::to_raw_series(&series, 8),
+        )
+    };
+    let mut cfg = CharacterizationConfig {
+        profile: grade10::core::attribution::ProfileConfig {
+            slice: 10 * MILLIS,
+            estimate_missing: attempt.mode != MixMode::Strict,
+            threads: inner_threads,
+            ..Default::default()
+        },
+        ingest: IngestConfig {
+            mode: if attempt.mode == MixMode::Strict {
+                IngestMode::Strict
+            } else {
+                IngestMode::Lenient
+            },
+        },
+        ..Default::default()
+    };
+    cfg.supervise.threads = inner_threads;
+    let (characterization, incidents, degraded) = match attempt.mode {
+        MixMode::Strict | MixMode::Lenient => {
+            let input = ingest(&run.model, &events, &monitoring, &cfg.ingest)?;
+            let c = characterize_ingested(&run.model, &run.rules_tuned, &input, &cfg);
+            (c, 0, false)
+        }
+        MixMode::Partial => {
+            let p = characterize_events_supervised(
+                &run.model,
+                &run.rules_tuned,
+                &events,
+                &monitoring,
+                &cfg,
+            )?;
+            let degraded = !p.is_complete();
+            (p.characterization, p.incidents.len() as u32, degraded)
+        }
+    };
+    Ok(MixOutcome {
+        mix: mix.clone(),
+        hash: 0,
+        makespan_ns: characterization.base_makespan,
+        classes: characterization.issue_classes(&run.model),
+        incidents,
+        degraded,
+        attempts: 0,
+        mode: String::new(),
+    })
+}
+
 /// Runs the supervised pipeline over raw collected streams, prints the
 /// characterization plus the incidents and coverage tables, and maps the
 /// outcome to an exit status: `Partial` when any incident was recorded.
@@ -424,11 +621,18 @@ fn parse_fault_plan(flags: &HashMap<String, String>) -> Result<Option<FaultPlan>
         .map(|s| s.parse().map_err(|_| format!("bad fault seed '{s}'")))
         .transpose()?
         .unwrap_or(1);
+    Ok(Some(parse_fault_classes(spec, seed)?))
+}
+
+/// Parses a fault-class spec (`all`, `hostile`, or a comma-separated class
+/// list) into a seeded plan. Shared by `--inject` and the campaign fault
+/// axis.
+fn parse_fault_classes(spec: &str, seed: u64) -> Result<FaultPlan, String> {
     if spec == "all" {
-        return Ok(Some(FaultPlan::all(seed)));
+        return Ok(FaultPlan::all(seed));
     }
     if spec == "hostile" {
-        return Ok(Some(FaultPlan::hostile(seed)));
+        return Ok(FaultPlan::hostile(seed));
     }
     let mut plan = FaultPlan::clean(seed);
     for name in spec.split(',') {
@@ -436,7 +640,24 @@ fn parse_fault_plan(flags: &HashMap<String, String>) -> Result<Option<FaultPlan>
             .ok_or_else(|| format!("unknown fault class '{name}'"))?;
         plan.enable(class);
     }
-    Ok(Some(plan))
+    Ok(plan)
+}
+
+/// Parses an algorithm name shared by `demo --algorithm` and the campaign
+/// workload axis.
+fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+    match name {
+        "pr" => Ok(Algorithm::PageRank { iterations: 8 }),
+        "bfs" => Ok(Algorithm::Bfs { root: 0 }),
+        "wcc" => Ok(Algorithm::Wcc),
+        "cdlp" => Ok(Algorithm::Cdlp { iterations: 8 }),
+        "sssp" => Ok(Algorithm::Sssp { root: 0 }),
+        "lcc" => Ok(Algorithm::Lcc),
+        "prc" => Ok(Algorithm::PageRankConverge {
+            epsilon_millionths: 100,
+        }),
+        other => Err(format!("unknown algorithm '{other}'")),
+    }
 }
 
 /// Writes the characterization as a standalone HTML report.
@@ -456,7 +677,8 @@ fn write_html(
             ..Default::default()
         },
     );
-    std::fs::write(path, html).map_err(|e| format!("write {path}: {e}"))?;
+    atomic_write(std::path::Path::new(path), html.as_bytes())
+        .map_err(|e| format!("write {path}: {e}"))?;
     eprintln!("wrote {path}");
     Ok(())
 }
@@ -504,15 +726,21 @@ fn demo_spark(
 /// trace at the recommended 8x downsampling).
 fn export_logs(run: &grade10::engines::WorkloadRun, dir: &str) -> Result<(), String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+    // Both artifacts are rendered in memory and written atomically (temp
+    // sibling + rename): a consumer polling the directory never sees a
+    // truncated file, even if this process dies mid-export.
     let events = grade10::engines::bridge::to_raw_events(&run.sim.logs);
     let events_path = format!("{dir}/events.jsonl");
-    let f = File::create(&events_path).map_err(|e| format!("create {events_path}: {e}"))?;
-    grade10::core::parse::write_events_json(&events, f)
+    let mut buf = Vec::new();
+    grade10::core::parse::write_events_json(&events, &mut buf)
+        .map_err(|e| format!("render {events_path}: {e}"))?;
+    atomic_write(std::path::Path::new(&events_path), &buf)
         .map_err(|e| format!("write {events_path}: {e}"))?;
     let resources_path = format!("{dir}/resources.json");
     let rt = run.resource_trace(8);
-    let f = File::create(&resources_path).map_err(|e| format!("create {resources_path}: {e}"))?;
-    serde_json::to_writer(f, &rt).map_err(|e| format!("write {resources_path}: {e}"))?;
+    let json = serde_json::to_vec(&rt).map_err(|e| format!("render {resources_path}: {e}"))?;
+    atomic_write(std::path::Path::new(&resources_path), &json)
+        .map_err(|e| format!("write {resources_path}: {e}"))?;
     eprintln!("exported {events_path} and {resources_path}");
     Ok(())
 }
@@ -566,8 +794,7 @@ fn export_model(flags: &HashMap<String, String>) -> Result<RunStatus, String> {
     };
     match flags.get("-o") {
         Some(path) => {
-            let mut f = File::create(path).map_err(|e| format!("create {path}: {e}"))?;
-            f.write_all(bundle.to_json().as_bytes())
+            atomic_write(std::path::Path::new(path), bundle.to_json().as_bytes())
                 .map_err(|e| format!("write {path}: {e}"))?;
             eprintln!("wrote {path}");
         }
@@ -694,12 +921,19 @@ fn print_self_profile(meta: &MetaCharacterization) {
 /// the pipeline's characterization of itself.
 fn export_self_trace(meta: &MetaCharacterization, dir: &str) -> Result<(), String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("create {dir}: {e}"))?;
+    // Atomic writes throughout, same as export_logs: the exported trio is
+    // either fully present or absent per file, never truncated.
     let model_path = format!("{dir}/model.json");
-    std::fs::write(&model_path, obs::meta_bundle().to_json())
-        .map_err(|e| format!("write {model_path}: {e}"))?;
+    atomic_write(
+        std::path::Path::new(&model_path),
+        obs::meta_bundle().to_json().as_bytes(),
+    )
+    .map_err(|e| format!("write {model_path}: {e}"))?;
     let events_path = format!("{dir}/events.jsonl");
-    let f = File::create(&events_path).map_err(|e| format!("create {events_path}: {e}"))?;
-    grade10::core::parse::write_events_json(&meta.events, f)
+    let mut buf = Vec::new();
+    grade10::core::parse::write_events_json(&meta.events, &mut buf)
+        .map_err(|e| format!("render {events_path}: {e}"))?;
+    atomic_write(std::path::Path::new(&events_path), &buf)
         .map_err(|e| format!("write {events_path}: {e}"))?;
     let mut rt = ResourceTrace::new();
     for s in &meta.series {
@@ -709,8 +943,9 @@ fn export_self_trace(meta: &MetaCharacterization, dir: &str) -> Result<(), Strin
         }
     }
     let resources_path = format!("{dir}/resources.json");
-    let f = File::create(&resources_path).map_err(|e| format!("create {resources_path}: {e}"))?;
-    serde_json::to_writer(f, &rt).map_err(|e| format!("write {resources_path}: {e}"))?;
+    let json = serde_json::to_vec(&rt).map_err(|e| format!("render {resources_path}: {e}"))?;
+    atomic_write(std::path::Path::new(&resources_path), &json)
+        .map_err(|e| format!("write {resources_path}: {e}"))?;
     eprintln!(
         "exported self-trace; round-trip it with:\n  grade10 analyze --model {model_path} \
          --events {events_path} --resources {resources_path} --slice-ms 1"

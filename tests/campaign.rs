@@ -1,0 +1,268 @@
+//! The campaign durability envelope under chaos: interrupted launches at
+//! several journal positions and pool widths must resume to a report
+//! byte-identical to an uninterrupted run; damaged journal records must
+//! be quarantined, never fatal; and content hashing must invalidate
+//! exactly the mixes whose spec (or code version) changed.
+//!
+//! These tests drive `run_campaign` with deterministic synthetic runners
+//! so the chaos schedule is exact. The real characterization pipeline
+//! behind the `grade10 campaign` subcommand is exercised end-to-end
+//! (including a SIGKILL) in `tests/campaign_cli.rs`.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use grade10::core::campaign::{
+    run_campaign, CampaignOptions, CampaignRun, CampaignSpec, MixAttempt, MixOutcome, MixSpec,
+};
+use grade10::core::error::Grade10Error;
+
+/// A 6-mix matrix: 3 algorithms × 2 machine counts.
+fn spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "chaos".into(),
+        code_version: "t1".into(),
+        algorithms: vec!["pr".into(), "bfs".into(), "wcc".into()],
+        datasets: vec!["rmat:6".into()],
+        engines: vec!["giraph".into()],
+        machines: vec![2, 4],
+        seeds: vec![46],
+        faults: vec!["none".into()],
+    }
+}
+
+fn opts(name: &str) -> CampaignOptions {
+    let dir = std::env::temp_dir().join(format!("g10-campaign-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut o = CampaignOptions::new(dir);
+    o.retry.base = Duration::ZERO; // no real sleeping in tests
+    o
+}
+
+/// Deterministic synthetic characterization: makespan and issue classes
+/// are pure functions of the mix, so any schedule yields the same report.
+fn fake_runner(mix: &MixSpec, _a: MixAttempt) -> Result<MixOutcome, Grade10Error> {
+    Ok(MixOutcome {
+        mix: mix.clone(),
+        hash: 0,
+        makespan_ns: 500_000_000 * u64::from(mix.machines) + mix.algorithm.len() as u64,
+        classes: vec![format!("bottleneck:{}", mix.algorithm)],
+        incidents: 0,
+        degraded: false,
+        attempts: 0,
+        mode: String::new(),
+    })
+}
+
+fn journal_path(o: &CampaignOptions) -> PathBuf {
+    o.dir.join("journal.jsonl")
+}
+
+/// One uninterrupted reference run; its report is the ground truth every
+/// chaos schedule must reproduce.
+fn baseline() -> CampaignRun {
+    let o = opts("baseline");
+    let run = run_campaign(&spec(), &o, fake_runner).expect("baseline run");
+    assert!(run.is_clean());
+    let _ = std::fs::remove_dir_all(&o.dir);
+    run
+}
+
+#[test]
+fn chaos_resume_matrix_reproduces_the_uninterrupted_report() {
+    let reference = baseline();
+    // Kill positions: before the first mix record, mid-campaign, and
+    // "all records written, report not yet" (simulated below by removing
+    // the report files from a complete run — the on-disk state a SIGKILL
+    // between the last fsync and the report write leaves behind).
+    for width in [1usize, 4] {
+        for stop_after in [0usize, 2] {
+            let name = format!("kill{stop_after}w{width}");
+            let mut o = opts(&name);
+            o.width = width;
+            o.stop_after = Some(stop_after);
+            let first = run_campaign(&spec(), &o, fake_runner).expect("interrupted launch");
+            assert!(first.interrupted, "{name}: launch reports interruption");
+            assert!(first.report_text.is_empty(), "{name}: no report rendered");
+            assert!(
+                !o.dir.join("report.txt").exists(),
+                "{name}: interrupted launch writes no report file"
+            );
+            assert!(journal_path(&o).exists(), "{name}: journal survives");
+
+            o.stop_after = None;
+            o.resume = true;
+            let resumed = run_campaign(&spec(), &o, fake_runner).expect("resume");
+            assert!(!resumed.interrupted);
+            assert_eq!(
+                resumed.cached + resumed.executed,
+                6,
+                "{name}: whole matrix covered"
+            );
+            assert_eq!(
+                resumed.cached, stop_after,
+                "{name}: every mix finished before the kill is served from the store"
+            );
+            assert_eq!(
+                resumed.report_text, reference.report_text,
+                "{name}: text report byte-identical to uninterrupted run"
+            );
+            assert_eq!(
+                resumed.report_json, reference.report_json,
+                "{name}: json report byte-identical to uninterrupted run"
+            );
+            let _ = std::fs::remove_dir_all(&o.dir);
+        }
+    }
+}
+
+#[test]
+fn killed_after_last_record_before_report_resumes_from_cache_alone() {
+    let reference = baseline();
+    let mut o = opts("prereport");
+    let complete = run_campaign(&spec(), &o, fake_runner).expect("complete run");
+    assert!(complete.is_clean());
+    // Simulate dying between the final fsync'd journal record and the
+    // report write: every outcome is durable, the report files are not.
+    std::fs::remove_file(o.dir.join("report.txt")).expect("drop report.txt");
+    std::fs::remove_file(o.dir.join("report.json")).expect("drop report.json");
+    o.resume = true;
+    let resumed = run_campaign(&spec(), &o, |_mix, _a| {
+        panic!("resume after a complete journal must not recompute any mix")
+    })
+    .expect("resume");
+    assert_eq!(resumed.cached, 6);
+    assert_eq!(resumed.executed, 0);
+    assert_eq!(resumed.report_text, reference.report_text);
+    assert_eq!(resumed.report_json, reference.report_json);
+    assert!(o.dir.join("report.txt").exists(), "report rewritten");
+    let _ = std::fs::remove_dir_all(&o.dir);
+}
+
+#[test]
+fn damaged_journal_records_are_quarantined_and_the_report_is_unaffected() {
+    use std::io::Write as _;
+    let reference = baseline();
+    let mut o = opts("damage");
+    o.stop_after = Some(3);
+    run_campaign(&spec(), &o, fake_runner).expect("interrupted launch");
+    // Corrupt the journal the three ways a dying machine can: flip a byte
+    // inside a finished record (checksum mismatch), append a line of
+    // garbage, and tear the final record mid-write (no newline).
+    let path = journal_path(&o);
+    let mut bytes = std::fs::read(&path).expect("read journal");
+    let pos = bytes
+        .windows(10)
+        .position(|w| w == b"\"finished\"")
+        .expect("a finished record to damage");
+    bytes[pos + 1] = b'F';
+    std::fs::write(&path, &bytes).expect("rewrite journal");
+    {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .expect("open journal");
+        f.write_all(b"not json at all\n").expect("garbage line");
+        f.write_all(b"{\"record\":\"started\",\"mix\":\"to")
+            .expect("torn tail");
+    }
+    o.stop_after = None;
+    o.resume = true;
+    let resumed = run_campaign(&spec(), &o, fake_runner).expect("resume over damage");
+    assert_eq!(
+        resumed.quarantined_journal, 3,
+        "checksum mismatch + garbage line + torn tail all quarantined"
+    );
+    assert!(!resumed.interrupted);
+    assert_eq!(resumed.cached + resumed.executed, 6);
+    assert_eq!(
+        resumed.report_text, reference.report_text,
+        "damage costs recomputation, never correctness"
+    );
+    let _ = std::fs::remove_dir_all(&o.dir);
+}
+
+#[test]
+fn editing_one_axis_value_reruns_exactly_the_affected_mixes() {
+    let mut o = opts("invalidate");
+    let first = run_campaign(&spec(), &o, fake_runner).expect("first run");
+    assert_eq!(first.executed, 6);
+    // Swap one algorithm: the two wcc mixes (2 machine counts) change
+    // identity, the four pr/bfs mixes keep their content hashes.
+    let mut edited = spec();
+    edited.algorithms = vec!["pr".into(), "bfs".into(), "cdlp".into()];
+    o.resume = true;
+    let second = run_campaign(&edited, &o, fake_runner).expect("resume with edited spec");
+    assert_eq!(second.executed, 2, "only the replaced axis value re-runs");
+    assert_eq!(second.cached, 4, "unchanged mixes served from the store");
+    let _ = std::fs::remove_dir_all(&o.dir);
+}
+
+#[test]
+fn bumping_the_code_version_invalidates_every_stored_outcome() {
+    let mut o = opts("version");
+    run_campaign(&spec(), &o, fake_runner).expect("first run");
+    let mut bumped = spec();
+    bumped.code_version = "t2".into();
+    o.resume = true;
+    let second = run_campaign(&bumped, &o, fake_runner).expect("resume with bumped version");
+    assert_eq!(second.executed, 6, "no stale outcome survives a version bump");
+    assert_eq!(second.cached, 0);
+    let _ = std::fs::remove_dir_all(&o.dir);
+}
+
+#[test]
+fn transient_failure_is_retried_with_backoff_and_recovers() {
+    let o = opts("transient");
+    let attempts_seen = AtomicUsize::new(0);
+    let run = run_campaign(&spec(), &o, |mix, a| {
+        if mix.algorithm == "bfs" && mix.machines == 2 && a.index == 0 {
+            attempts_seen.fetch_add(1, Ordering::SeqCst);
+            panic!("simulated transient crash on first attempt");
+        }
+        fake_runner(mix, a)
+    })
+    .expect("run");
+    assert_eq!(attempts_seen.load(Ordering::SeqCst), 1, "failed exactly once");
+    assert!(run.incidents.is_empty(), "retry absorbed the crash");
+    let recovered = run
+        .outcomes
+        .iter()
+        .find(|o| o.mix.algorithm == "bfs" && o.mix.machines == 2)
+        .expect("recovered outcome");
+    assert_eq!(recovered.attempts, 2);
+    assert_eq!(recovered.mode, "lenient", "ladder stepped strict → lenient");
+    assert!(run.is_clean(), "a recovered mix still counts as clean");
+    let _ = std::fs::remove_dir_all(&o.dir);
+}
+
+#[test]
+fn permanent_failure_is_an_incident_and_the_report_covers_survivors() {
+    let o = opts("permanent");
+    let run = run_campaign(&spec(), &o, |mix, a| {
+        if mix.algorithm == "wcc" {
+            return Err(Grade10Error::MalformedLog("telemetry always rotten".into()));
+        }
+        fake_runner(mix, a)
+    })
+    .expect("campaign survives a permanently failing mix");
+    assert!(!run.is_clean(), "incidents make the campaign exit partial");
+    assert_eq!(run.incidents.len(), 2, "one incident per dead mix");
+    assert_eq!(run.outcomes.len(), 4, "survivors still characterized");
+    for i in &run.incidents {
+        assert_eq!(i.stage, "campaign");
+        assert_eq!(i.attempts, 3, "whole retry ladder exhausted first");
+    }
+    assert!(
+        run.report_text.contains("telemetry always rotten"),
+        "incident detail reaches the report:\n{}",
+        run.report_text
+    );
+    assert!(
+        run.report_text.contains("4 characterized, 2 failed"),
+        "summary counts both populations:\n{}",
+        run.report_text
+    );
+    let _ = std::fs::remove_dir_all(&o.dir);
+}

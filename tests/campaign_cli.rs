@@ -1,0 +1,208 @@
+//! The `grade10 campaign` subcommand end to end, binary included: a
+//! SIGKILL mid-campaign must leave a resumable directory, `--resume` must
+//! finish the matrix and produce a report byte-identical to an
+//! uninterrupted run, and the process exit-code taxonomy (0 clean /
+//! 2 partial / 1 fatal) must hold across the subcommand dispatch.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn grade10() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_grade10"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("g10-cli-{name}-{}", std::process::id()))
+}
+
+/// A 4-mix screening spec small enough for CI: 2 algorithms × 2 seeds.
+const SPEC: &str = r#"
+name = "cli-smoke"
+algorithms = ["pr", "bfs"]
+datasets = ["rmat:6"]
+machines = [2]
+seeds = [46, 47]
+"#;
+
+fn write_spec(dir: &Path) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("spec dir");
+    let path = dir.join("spec.toml");
+    std::fs::write(&path, SPEC).expect("write spec");
+    path
+}
+
+fn run_campaign(spec: &Path, dir: &Path, resume: bool) -> std::process::Output {
+    let mut cmd = grade10();
+    cmd.arg("campaign")
+        .arg("--spec")
+        .arg(spec)
+        .arg("--dir")
+        .arg(dir)
+        .arg("--threads")
+        .arg("2");
+    if resume {
+        cmd.arg("--resume");
+    }
+    cmd.output().expect("run grade10 campaign")
+}
+
+#[test]
+fn sigkill_mid_campaign_resumes_to_an_identical_report() {
+    let root = tmp("kill");
+    let _ = std::fs::remove_dir_all(&root);
+    let spec = write_spec(&root);
+
+    // Ground truth: the same campaign, never interrupted.
+    let clean_dir = root.join("clean");
+    let out = run_campaign(&spec, &clean_dir, false);
+    assert!(
+        out.status.success(),
+        "uninterrupted campaign: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let want_txt = std::fs::read(clean_dir.join("report.txt")).expect("clean report.txt");
+    let want_json = std::fs::read(clean_dir.join("report.json")).expect("clean report.json");
+
+    // Chaos run: SIGKILL the process as soon as the journal holds a
+    // durable completion marker, so the kill lands mid-campaign.
+    let kill_dir = root.join("killed");
+    let mut child = grade10()
+        .arg("campaign")
+        .arg("--spec")
+        .arg(&spec)
+        .arg("--dir")
+        .arg(&kill_dir)
+        .arg("--threads")
+        .arg("1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn campaign");
+    let journal = kill_dir.join("journal.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut exited_first = false;
+    loop {
+        if let Ok(bytes) = std::fs::read(&journal) {
+            if bytes.windows(10).any(|w| w == b"\"finished\"") {
+                break;
+            }
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            // The campaign beat the poller; the resume below then only
+            // re-renders the report, which must still be byte-identical.
+            exited_first = true;
+            break;
+        }
+        assert!(Instant::now() < deadline, "no finished record within 120s");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    if !exited_first {
+        child.kill().expect("SIGKILL campaign");
+    }
+    let _ = child.wait();
+    assert!(journal.exists(), "journal survives the kill");
+
+    // Relaunching without --resume must refuse the live journal (exit 1).
+    let refused = run_campaign(&spec, &kill_dir, false);
+    assert_eq!(
+        refused.status.code(),
+        Some(1),
+        "existing journal without --resume is fatal: {}",
+        String::from_utf8_lossy(&refused.stderr)
+    );
+
+    // --resume finishes the matrix and reproduces the reference report.
+    let resumed = run_campaign(&spec, &kill_dir, true);
+    assert!(
+        resumed.status.success(),
+        "resume: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let got_txt = std::fs::read(kill_dir.join("report.txt")).expect("resumed report.txt");
+    let got_json = std::fs::read(kill_dir.join("report.json")).expect("resumed report.json");
+    assert_eq!(got_txt, want_txt, "text report byte-identical after kill+resume");
+    assert_eq!(got_json, want_json, "json report byte-identical after kill+resume");
+
+    // The resumed stderr accounting shows the cache actually served mixes
+    // (unless the process won the race and finished everything itself).
+    if !exited_first {
+        let stderr = String::from_utf8_lossy(&resumed.stderr);
+        assert!(
+            stderr.contains("cached"),
+            "resume reports cache accounting: {stderr}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn exit_code_taxonomy_holds_across_subcommand_dispatch() {
+    let root = tmp("exits");
+    let _ = std::fs::remove_dir_all(&root);
+    let spec = write_spec(&root);
+
+    // 0: clean campaign.
+    let clean = run_campaign(&spec, &root.join("ok"), false);
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "clean campaign exits 0: {}",
+        String::from_utf8_lossy(&clean.stderr)
+    );
+    // ... and a clean resume of it stays 0.
+    let resumed = run_campaign(&spec, &root.join("ok"), true);
+    assert_eq!(resumed.status.code(), Some(0));
+
+    // 2: a supervised run with incidents still exits partial after the
+    // subcommand dispatch gained the campaign arm.
+    let partial = grade10()
+        .args(["demo", "--partial", "--inject", "hostile", "--dataset", "rmat:6"])
+        .output()
+        .expect("run demo --partial");
+    assert_eq!(
+        partial.status.code(),
+        Some(2),
+        "supervised demo with hostile faults exits 2: {}",
+        String::from_utf8_lossy(&partial.stderr)
+    );
+
+    // 1: fatal usage and spec errors.
+    let missing_spec = run_campaign(&root.join("nope.toml"), &root.join("x"), false);
+    assert_eq!(missing_spec.status.code(), Some(1), "unreadable spec is fatal");
+    let no_args = grade10().arg("campaign").output().expect("run");
+    assert_eq!(no_args.status.code(), Some(1), "missing --spec/--dir is fatal");
+    let bad_spec = root.join("bad.toml");
+    std::fs::write(&bad_spec, "name = \"x\"\nalgorithms = [\"pr\"]\n").expect("write");
+    let bad = run_campaign(&bad_spec, &root.join("y"), false);
+    assert_eq!(
+        bad.status.code(),
+        Some(1),
+        "spec missing a required axis is fatal: {}",
+        String::from_utf8_lossy(&bad.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn campaign_validates_every_mix_before_running_any() {
+    let root = tmp("validate");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("dir");
+    let spec = root.join("spec.toml");
+    std::fs::write(
+        &spec,
+        "name = \"v\"\nalgorithms = [\"pr\", \"zork\"]\ndatasets = [\"rmat:6\"]\n",
+    )
+    .expect("write spec");
+    let dir = root.join("run");
+    let out = run_campaign(&spec, &dir, false);
+    assert_eq!(out.status.code(), Some(1), "unknown algorithm is fatal up front");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("zork"), "error names the bad mix: {stderr}");
+    assert!(
+        !dir.join("journal.jsonl").exists(),
+        "nothing ran: validation precedes the journal"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
