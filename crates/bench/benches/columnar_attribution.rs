@@ -1,0 +1,165 @@
+//! Columnar vs legacy attribution backend on `build_profile`.
+//!
+//! Acceptance gate for the columnar attribution core: on an
+//! attribution-heavy grid — many short-window participants per resource
+//! row, fine timeslices — the columnar backend must be at least 5× faster
+//! than the legacy cell-major backend end to end. The asymptotic gap is in
+//! the attribution sweep: legacy scans every participant of a resource for
+//! every `(resource, slice)` cell, O(resources × slices ×
+//! participants-per-resource), while columnar walks each participant's own
+//! demand window once, O(cells + demand entries). The two are
+//! bit-identical (`tests/columnar_equivalence.rs`); this bench pins the
+//! *reason* the columnar path exists.
+//!
+//! `--smoke` runs a small fixture once with no gate, for CI. The full run
+//! prints a JSON trajectory record for `BENCH_columnar_attribution.json`
+//! and exits non-zero below 5×.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use grade10_cluster::SimDuration;
+use grade10_core::attribution::{build_profile, AttributionBackend, ProfileConfig};
+use grade10_core::config::Parallelism;
+use grade10_core::model::{
+    AttributionRule, ExecutionModel, ExecutionModelBuilder, Repeat, RuleSet,
+};
+use grade10_core::report::Table;
+use grade10_core::trace::{ExecutionTrace, ResourceInstance, ResourceTrace, TraceBuilder, MILLIS};
+
+/// A BSP trace shaped to stress attribution: `steps × threads` task
+/// instances per machine, each active for only one step's window, over a
+/// grid of `steps × step_ms` one-millisecond slices. Every task is a
+/// participant of its machine's cpu row, so the legacy backend's per-cell
+/// participant scan does `slices × steps × threads` window checks per row
+/// while the columnar backend touches each task's ~`step_ms` slices once.
+fn synthetic(steps: usize) -> (ExecutionModel, RuleSet, ExecutionTrace, ResourceTrace) {
+    let machines = 2usize;
+    let threads = 16usize;
+    let mut b = ExecutionModelBuilder::new("job");
+    let root = b.root();
+    let step = b.child(root, "step", Repeat::Sequential);
+    let task = b.child(step, "task", Repeat::Parallel);
+    let model = b.build();
+    let rules = RuleSet::new().rule(task, "cpu", AttributionRule::Variable(1.0));
+
+    let mut tb = TraceBuilder::new(&model);
+    let step_ms = 100u64;
+    let total = steps as u64 * step_ms;
+    tb.add_phase(&[("job", 0)], 0, total * MILLIS, None, None).unwrap();
+    for s in 0..steps {
+        let t0 = s as u64 * step_ms;
+        tb.add_phase(
+            &[("job", 0), ("step", s as u32)],
+            t0 * MILLIS,
+            (t0 + step_ms) * MILLIS,
+            None,
+            None,
+        )
+        .unwrap();
+        for t in 0..machines * threads {
+            // Stagger durations so demand is ragged, not uniform.
+            let d = step_ms - (t as u64 % 7) * 5;
+            tb.add_phase(
+                &[("job", 0), ("step", s as u32), ("task", t as u32)],
+                t0 * MILLIS,
+                (t0 + d) * MILLIS,
+                Some((t / threads) as u16),
+                Some((t % threads) as u16),
+            )
+            .unwrap();
+        }
+    }
+    let trace = tb.build().unwrap();
+
+    let mut rt = ResourceTrace::new();
+    for m in 0..machines {
+        let cpu = rt.add_resource(ResourceInstance {
+            kind: "cpu".into(),
+            machine: Some(m as u16),
+            capacity: threads as f64,
+        });
+        let samples: Vec<f64> = (0..total / 400)
+            .map(|i| 6.0 + (i % 5) as f64)
+            .collect();
+        rt.add_series(cpu, 0, 400 * MILLIS, &samples);
+    }
+    (model, rules, trace, rt)
+}
+
+fn time_median_us<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    black_box(f());
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (steps, iters) = if smoke { (12, 1) } else { (160, 5) };
+    println!("=== Columnar attribution: build_profile backend comparison ===\n");
+
+    let (model, rules, trace, rt) = synthetic(steps);
+    let cfg_for = |backend| ProfileConfig {
+        slice: MILLIS,
+        // Single-threaded upsampling so the measurement isolates the
+        // attribution core rather than pool scheduling.
+        parallelism: Parallelism::Never,
+        backend,
+        ..ProfileConfig::default()
+    };
+
+    let legacy_cfg = cfg_for(AttributionBackend::Legacy);
+    let columnar_cfg = cfg_for(AttributionBackend::Columnar);
+    let legacy_us =
+        time_median_us(iters, || build_profile(&model, &rules, &trace, &rt, &legacy_cfg));
+    let columnar_us =
+        time_median_us(iters, || build_profile(&model, &rules, &trace, &rt, &columnar_cfg));
+    let speedup = legacy_us / columnar_us;
+
+    let profile = build_profile(&model, &rules, &trace, &rt, &columnar_cfg);
+    let slices = profile.grid.num_slices();
+    let participants = profile.usages.len();
+
+    let mut table = Table::new(&["backend", "median build_profile", "speedup"]);
+    table.row(&[
+        "legacy (cell-major)".to_string(),
+        format!("{}", SimDuration::from_nanos((legacy_us * 1e3) as u64)),
+        "1.00x".to_string(),
+    ]);
+    table.row(&[
+        "columnar".to_string(),
+        format!("{}", SimDuration::from_nanos((columnar_us * 1e3) as u64)),
+        format!("{speedup:.2}x"),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "fixture: {steps} steps, {slices} slices, {participants} phase instances\n"
+    );
+
+    // One trajectory record per line, appendable to
+    // BENCH_columnar_attribution.json's `history` array.
+    println!(
+        "{{\"fixture\":\"steps={steps},slices={slices},participants={participants}\",\
+\"legacy_us\":{legacy_us:.0},\"columnar_us\":{columnar_us:.0},\"speedup\":{speedup:.2}}}"
+    );
+
+    if smoke {
+        println!("\nOK: smoke run complete (no gate)");
+        return;
+    }
+    // The acceptance bar from the columnar-core issue: ≥5× on large grids.
+    // The asymptotic gap on this fixture is ~100×, so 5× leaves ample
+    // headroom for machine noise before CI goes red.
+    if speedup < 5.0 {
+        eprintln!("FAIL: columnar speedup {speedup:.2}x is below the 5x acceptance bar");
+        std::process::exit(1);
+    }
+    println!("\nOK: columnar backend is {speedup:.2}x faster (bar: 5x)");
+}

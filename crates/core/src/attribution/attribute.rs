@@ -9,6 +9,7 @@
 
 use crate::attribution::demand::DemandMatrix;
 use crate::model::rules::AttributionRule;
+use crate::trace::timeslice::MetricGrid;
 
 /// Per-participant attributed usage, aligned with
 /// [`DemandMatrix::participants`].
@@ -17,20 +18,21 @@ pub struct AttributedUsage {
     /// Usage per slice, same offset/length as the participant's demand.
     pub usage: Vec<Vec<f64>>,
     /// Consumption no participant absorbed: `[resource][slice]`.
-    pub unattributed: Vec<Vec<f64>>,
+    pub unattributed: MetricGrid,
 }
 
 /// Attributes the upsampled `consumption` (`[resource][slice]`) to the
-/// participants of `dm`.
-pub fn attribute(dm: &DemandMatrix, consumption: &[Vec<f64>]) -> AttributedUsage {
-    let nr = consumption.len();
-    let ns = consumption.first().map_or(0, |c| c.len());
+/// participants of `dm`. Cell-major reference implementation: for every
+/// `(resource, slice)` cell it scans all participants of that resource.
+pub fn attribute(dm: &DemandMatrix, consumption: &MetricGrid) -> AttributedUsage {
+    let nr = consumption.num_rows();
+    let ns = consumption.num_slices();
     let mut usage: Vec<Vec<f64>> = dm
         .participants
         .iter()
         .map(|p| vec![0.0; p.demand.len()])
         .collect();
-    let mut unattributed = vec![vec![0.0; ns]; nr];
+    let mut unattributed = MetricGrid::zeros(nr, ns);
 
     // Group participants per resource once.
     let mut by_resource: Vec<Vec<usize>> = vec![Vec::new(); nr];
@@ -82,6 +84,79 @@ pub fn attribute(dm: &DemandMatrix, consumption: &[Vec<f64>]) -> AttributedUsage
     }
 }
 
+/// Participant-major variant of [`attribute`]: instead of scanning every
+/// participant of a resource for every cell — O(resources × slices ×
+/// participants-per-resource) — it walks each participant's own demand
+/// window once, O(cells + total demand entries).
+///
+/// Bit-identical to [`attribute`]: each usage cell depends only on the
+/// per-cell totals `consumption[r][s]`, `exact[r][s]`, `variable[r][s]`
+/// (precomputed either way), each participant owns its own output cell
+/// (plain assignment, never accumulation), and the per-cell formula —
+/// `c.min(exact_total) * d / exact_total` resp.
+/// `(c - c.min(exact_total)) * d / var_total` — is evaluated with the
+/// same operation order. `tests/columnar_equivalence.rs` pins this.
+pub fn attribute_columnar(dm: &DemandMatrix, consumption: &MetricGrid) -> AttributedUsage {
+    let nr = consumption.num_rows();
+    let ns = consumption.num_slices();
+    let mut unattributed = MetricGrid::zeros(nr, ns);
+
+    // Unattributed pass: pure per-cell arithmetic over contiguous rows.
+    for r in 0..nr {
+        let c_row = &consumption[r];
+        let e_row = &dm.exact[r];
+        let v_row = &dm.variable[r];
+        let u_row = &mut unattributed[r];
+        for s in 0..ns {
+            let c = c_row[s];
+            if c <= 0.0 || v_row[s] > 0.0 {
+                continue;
+            }
+            u_row[s] = c - c.min(e_row[s]);
+        }
+    }
+
+    // Usage pass: one contiguous sweep per participant window.
+    let usage = dm
+        .participants
+        .iter()
+        .map(|p| {
+            let mut row = vec![0.0; p.demand.len()];
+            let r = p.resource.0 as usize;
+            let first = p.first_slice;
+            let c_row = &consumption[r];
+            let e_row = &dm.exact[r];
+            let v_row = &dm.variable[r];
+            for (k, &d) in p.demand.iter().enumerate() {
+                let s = first + k;
+                let c = c_row[s];
+                if c <= 0.0 || d <= 0.0 {
+                    continue;
+                }
+                match p.rule {
+                    AttributionRule::Exact(_) => {
+                        let exact_total = e_row[s];
+                        row[k] = c.min(exact_total) * d / exact_total;
+                    }
+                    AttributionRule::Variable(_) => {
+                        let var_total = v_row[s];
+                        if var_total > 0.0 {
+                            row[k] = (c - c.min(e_row[s])) * d / var_total;
+                        }
+                    }
+                    AttributionRule::None => {}
+                }
+            }
+            row
+        })
+        .collect();
+
+    AttributedUsage {
+        usage,
+        unattributed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,20 +179,24 @@ mod tests {
         }
     }
 
+    fn grid1(row: Vec<f64>) -> MetricGrid {
+        MetricGrid::from_rows(vec![row])
+    }
+
     /// The Figure 2(f) example at timeslice 3: consumption 65 %, exact
     /// phase P3 demands 50 %, variable phase P2 has weight 1 → P3 gets 50,
     /// P2 gets 15.
     #[test]
     fn figure2_attribution_example() {
         let dm = DemandMatrix {
-            exact: vec![vec![50.0]],
-            variable: vec![vec![1.0]],
+            exact: grid1(vec![50.0]),
+            variable: grid1(vec![1.0]),
             participants: vec![
                 participant(0, AttributionRule::Exact(0.5), 0, vec![50.0]),
                 participant(1, AttributionRule::Variable(1.0), 0, vec![1.0]),
             ],
         };
-        let att = attribute(&dm, &[vec![65.0]]);
+        let att = attribute(&dm, &grid1(vec![65.0]));
         assert!((att.usage[0][0] - 50.0).abs() < 1e-9);
         assert!((att.usage[1][0] - 15.0).abs() < 1e-9);
         assert!(att.unattributed[0][0] < 1e-12);
@@ -126,15 +205,15 @@ mod tests {
     #[test]
     fn exact_capped_at_demand_when_consumption_low() {
         let dm = DemandMatrix {
-            exact: vec![vec![4.0]],
-            variable: vec![vec![0.0]],
+            exact: grid1(vec![4.0]),
+            variable: grid1(vec![0.0]),
             participants: vec![
                 participant(0, AttributionRule::Exact(0.5), 0, vec![3.0]),
                 participant(1, AttributionRule::Exact(0.5), 0, vec![1.0]),
             ],
         };
         // Only 2.0 consumed: split 3:1.
-        let att = attribute(&dm, &[vec![2.0]]);
+        let att = attribute(&dm, &grid1(vec![2.0]));
         assert!((att.usage[0][0] - 1.5).abs() < 1e-9);
         assert!((att.usage[1][0] - 0.5).abs() < 1e-9);
     }
@@ -142,14 +221,14 @@ mod tests {
     #[test]
     fn variable_split_by_weight() {
         let dm = DemandMatrix {
-            exact: vec![vec![0.0]],
-            variable: vec![vec![3.0]],
+            exact: grid1(vec![0.0]),
+            variable: grid1(vec![3.0]),
             participants: vec![
                 participant(0, AttributionRule::Variable(1.0), 0, vec![1.0]),
                 participant(1, AttributionRule::Variable(2.0), 0, vec![2.0]),
             ],
         };
-        let att = attribute(&dm, &[vec![6.0]]);
+        let att = attribute(&dm, &grid1(vec![6.0]));
         assert!((att.usage[0][0] - 2.0).abs() < 1e-9);
         assert!((att.usage[1][0] - 4.0).abs() < 1e-9);
     }
@@ -157,11 +236,11 @@ mod tests {
     #[test]
     fn unattributed_when_no_active_phase() {
         let dm = DemandMatrix {
-            exact: vec![vec![0.0, 2.0]],
-            variable: vec![vec![0.0, 0.0]],
+            exact: grid1(vec![0.0, 2.0]),
+            variable: grid1(vec![0.0, 0.0]),
             participants: vec![participant(0, AttributionRule::Exact(0.5), 1, vec![2.0])],
         };
-        let att = attribute(&dm, &[vec![1.5, 3.0]]);
+        let att = attribute(&dm, &grid1(vec![1.5, 3.0]));
         // Slice 0: nobody active — all 1.5 unattributed.
         assert!((att.unattributed[0][0] - 1.5).abs() < 1e-9);
         // Slice 1: exact takes its 2.0, the extra 1.0 has no variable
@@ -173,14 +252,14 @@ mod tests {
     #[test]
     fn conservation_per_slice() {
         let dm = DemandMatrix {
-            exact: vec![vec![2.0, 1.0]],
-            variable: vec![vec![1.0, 2.0]],
+            exact: grid1(vec![2.0, 1.0]),
+            variable: grid1(vec![1.0, 2.0]),
             participants: vec![
                 participant(0, AttributionRule::Exact(0.25), 0, vec![2.0, 1.0]),
                 participant(1, AttributionRule::Variable(1.0), 0, vec![1.0, 2.0]),
             ],
         };
-        let consumption = vec![vec![3.5, 2.5]];
+        let consumption = grid1(vec![3.5, 2.5]);
         let att = attribute(&dm, &consumption);
         for s in 0..2 {
             let total: f64 = att.usage.iter().map(|u| u[s]).sum::<f64>()
@@ -191,5 +270,43 @@ mod tests {
                 consumption[0][s]
             );
         }
+    }
+
+    /// The columnar path must agree bit-for-bit with the cell-major
+    /// reference on a mixed Exact/Variable/None scenario with offset
+    /// windows and idle cells.
+    #[test]
+    fn columnar_matches_reference_bitwise() {
+        let dm = DemandMatrix {
+            exact: MetricGrid::from_rows(vec![
+                vec![2.0, 1.0, 0.0, 0.5],
+                vec![0.0, 0.0, 3.0, 0.0],
+            ]),
+            variable: MetricGrid::from_rows(vec![
+                vec![1.0, 0.0, 2.0, 0.0],
+                vec![0.0, 1.5, 0.0, 0.0],
+            ]),
+            participants: vec![
+                participant(0, AttributionRule::Exact(0.25), 0, vec![2.0, 1.0]),
+                participant(1, AttributionRule::Variable(1.0), 0, vec![1.0, 0.0, 2.0]),
+                participant(2, AttributionRule::Exact(0.5), 3, vec![0.5]),
+                participant(3, AttributionRule::None, 1, vec![1.0, 1.0]),
+                ParticipantDemand {
+                    instance: InstanceId(4),
+                    resource: ResourceIdx(1),
+                    rule: AttributionRule::Variable(1.5),
+                    first_slice: 1,
+                    demand: vec![1.5, 0.0],
+                },
+            ],
+        };
+        let consumption = MetricGrid::from_rows(vec![
+            vec![3.5, 0.7, 1.9, 2.0],
+            vec![0.4, 2.2, 1.0, 0.0],
+        ]);
+        let a = attribute(&dm, &consumption);
+        let b = attribute_columnar(&dm, &consumption);
+        assert_eq!(format!("{:?}", a.usage), format!("{:?}", b.usage));
+        assert_eq!(a.unattributed, b.unattributed);
     }
 }

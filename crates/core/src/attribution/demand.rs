@@ -1,11 +1,13 @@
 //! Step 1 of resource attribution: timeslice-granular demand estimation
 //! (§III-D1).
 
-use crate::model::execution::ExecutionModel;
+use std::collections::HashMap;
+
+use crate::model::execution::{ExecutionModel, PhaseTypeId};
 use crate::model::rules::{AttributionRule, RuleSet};
 use crate::trace::execution::{ExecutionTrace, InstanceId};
 use crate::trace::resource::{ResourceIdx, ResourceTrace};
-use crate::trace::timeslice::TimesliceGrid;
+use crate::trace::timeslice::{MetricGrid, TimesliceGrid};
 
 /// Demand of one (leaf phase instance, resource instance) pair over the
 /// slices the phase spans.
@@ -24,13 +26,14 @@ pub struct ParticipantDemand {
     pub demand: Vec<f64>,
 }
 
-/// Per-resource, per-slice demand totals.
+/// Per-resource, per-slice demand totals, one contiguous
+/// [`MetricGrid`] row per resource.
 #[derive(Clone, Debug)]
 pub struct DemandMatrix {
     /// Known (Exact) demand in absolute units: `[resource][slice]`.
-    pub exact: Vec<Vec<f64>>,
+    pub exact: MetricGrid,
     /// Variable demand weights: `[resource][slice]`.
-    pub variable: Vec<Vec<f64>>,
+    pub variable: MetricGrid,
     /// Per-participant demand detail, for the attribution step.
     pub participants: Vec<ParticipantDemand>,
 }
@@ -74,8 +77,8 @@ pub fn estimate_demand(
 ) -> DemandMatrix {
     let nr = resources.instances().len();
     let ns = grid.num_slices();
-    let mut exact = vec![vec![0.0; ns]; nr];
-    let mut variable = vec![vec![0.0; ns]; nr];
+    let mut exact = MetricGrid::zeros(nr, ns);
+    let mut variable = MetricGrid::zeros(nr, ns);
     let mut participants = Vec::new();
 
     for inst in trace.leaves() {
@@ -110,6 +113,97 @@ pub fn estimate_demand(
                         let d = w * a;
                         demand.push(d);
                         variable[ri][first + k] += d;
+                    }
+                }
+            }
+            participants.push(ParticipantDemand {
+                instance: inst.id,
+                resource: ResourceIdx(ri as u32),
+                rule,
+                first_slice: first,
+                demand,
+            });
+        }
+    }
+    DemandMatrix {
+        exact,
+        variable,
+        participants,
+    }
+}
+
+/// The columnar fast path of [`estimate_demand`]: same leaves-outer,
+/// resources-inner traversal (so participant order and per-cell
+/// accumulation order — and therefore every float — are bit-identical to
+/// the legacy path), but the per-(leaf × resource) rule lookup is served
+/// from a per-phase-type **rule row** computed once. The legacy path
+/// re-keys a string-keyed map for every pair, which allocates a `String`
+/// per lookup; with thousands of leaves over dozens of resources that
+/// dominates demand estimation. `tests/columnar_equivalence.rs` pins the
+/// bit-equality.
+pub fn estimate_demand_columnar(
+    _model: &ExecutionModel,
+    rules: &RuleSet,
+    trace: &ExecutionTrace,
+    resources: &ResourceTrace,
+    grid: &TimesliceGrid,
+) -> DemandMatrix {
+    let nr = resources.instances().len();
+    let ns = grid.num_slices();
+    let mut exact = MetricGrid::zeros(nr, ns);
+    let mut variable = MetricGrid::zeros(nr, ns);
+    let mut participants = Vec::new();
+
+    // One row of effective rules per phase type, filled on first
+    // encounter. Leaves overwhelmingly share a handful of types, so the
+    // string-keyed lookups collapse from (leaves × resources) to
+    // (types × resources).
+    let mut rule_rows: HashMap<PhaseTypeId, Vec<AttributionRule>> = HashMap::new();
+
+    for inst in trace.leaves() {
+        let (first, af) = active_fractions(trace, inst.id, grid);
+        if af.is_empty() {
+            continue;
+        }
+        let rule_row = rule_rows.entry(inst.type_id).or_insert_with(|| {
+            resources
+                .instances()
+                .iter()
+                .map(|res| rules.get(inst.type_id, &res.kind))
+                .collect()
+        });
+        for (ri, res) in resources.instances().iter().enumerate() {
+            if let (Some(rm), Some(im)) = (res.machine, inst.machine) {
+                if rm != im {
+                    continue;
+                }
+            } else if res.machine.is_some() && inst.machine.is_none() {
+                continue;
+            }
+            let rule = rule_row[ri];
+            if rule.is_none() {
+                continue;
+            }
+            let mut demand = Vec::with_capacity(af.len());
+            match rule {
+                AttributionRule::None => unreachable!(),
+                AttributionRule::Exact(p) => {
+                    let row = &mut exact[ri][first..first + af.len()];
+                    // `(p * capacity) * a` preserves the legacy operation
+                    // order, so hoisting the product is bit-identical.
+                    let scale = p * res.capacity;
+                    for (k, &a) in af.iter().enumerate() {
+                        let d = scale * a;
+                        demand.push(d);
+                        row[k] += d;
+                    }
+                }
+                AttributionRule::Variable(w) => {
+                    let row = &mut variable[ri][first..first + af.len()];
+                    for (k, &a) in af.iter().enumerate() {
+                        let d = w * a;
+                        demand.push(d);
+                        row[k] += d;
                     }
                 }
             }

@@ -2,14 +2,16 @@
 
 use std::collections::HashMap;
 
-use crate::attribution::attribute::attribute;
-use crate::attribution::demand::estimate_demand;
-use crate::attribution::upsample::{upsample_constant, upsample_measurement};
+use crate::attribution::attribute::{attribute, attribute_columnar};
+use crate::attribution::demand::{estimate_demand, estimate_demand_columnar};
+use crate::attribution::upsample::{
+    upsample_constant, upsample_measurement, upsample_measurement_scratch, UpsampleScratch,
+};
 use crate::model::execution::ExecutionModel;
 use crate::model::rules::{AttributionRule, RuleSet};
 use crate::trace::execution::{ExecutionTrace, InstanceId};
 use crate::trace::resource::{ResourceIdx, ResourceInstance, ResourceTrace};
-use crate::trace::timeslice::{Nanos, TimesliceGrid, MILLIS};
+use crate::trace::timeslice::{BoolGrid, MetricGrid, Nanos, TimesliceGrid, MILLIS};
 
 /// How coarse measurements are upsampled to timeslices.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -18,6 +20,21 @@ pub enum UpsampleMode {
     DemandGuided,
     /// The strawman: constant usage over each measurement window.
     Constant,
+}
+
+/// Which implementation of the attribution kernels a profile build uses.
+/// Both produce bit-identical profiles (pinned by
+/// `tests/columnar_equivalence.rs`); they differ only in memory layout and
+/// allocation behavior.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AttributionBackend {
+    /// Tight loops over the contiguous [`MetricGrid`] rows, per-phase-type
+    /// rule caching, and reused scratch buffers. The default.
+    #[default]
+    Columnar,
+    /// The original per-cell implementation, kept for one release as the
+    /// differential-testing reference.
+    Legacy,
 }
 
 pub use crate::config::Parallelism;
@@ -51,6 +68,9 @@ pub struct ProfileConfig {
     /// axis; for the rows to line up, every unit must build over the same
     /// grid, so the supervisor computes one global end and pins it here.
     pub grid_end: Option<Nanos>,
+    /// Which attribution kernel implementation to run; the output is
+    /// bit-identical either way.
+    pub backend: AttributionBackend,
 }
 
 impl Default for ProfileConfig {
@@ -62,6 +82,7 @@ impl Default for ProfileConfig {
             threads: None,
             estimate_missing: false,
             grid_end: None,
+            backend: AttributionBackend::default(),
         }
     }
 }
@@ -113,13 +134,13 @@ pub struct PerformanceProfile {
     /// The monitored resource instances (row index = `ResourceIdx`).
     pub resources: Vec<ResourceInstance>,
     /// Upsampled consumption: `[resource][slice]`, absolute units.
-    pub consumption: Vec<Vec<f64>>,
+    pub consumption: MetricGrid,
     /// Known (Exact) demand totals: `[resource][slice]`.
-    pub demand_exact: Vec<Vec<f64>>,
+    pub demand_exact: MetricGrid,
     /// Variable demand weight totals: `[resource][slice]`.
-    pub demand_variable: Vec<Vec<f64>>,
+    pub demand_variable: MetricGrid,
     /// Consumption not attributable to any modeled phase.
-    pub unattributed: Vec<Vec<f64>>,
+    pub unattributed: MetricGrid,
     /// Measured consumption that exceeded capacity and was dropped, per
     /// resource, in unit-seconds (non-zero values indicate a mis-specified
     /// capacity).
@@ -129,7 +150,7 @@ pub struct PerformanceProfile {
     /// than a measurement. Always all-false unless
     /// [`ProfileConfig::estimate_missing`] is on. Treat flagged cells as
     /// low-confidence.
-    pub estimated: Vec<Vec<bool>>,
+    pub estimated: BoolGrid,
     /// Per-(leaf instance, resource) usage and demand.
     pub usages: Vec<InstanceUsage>,
     index: HashMap<(InstanceId, ResourceIdx), usize>,
@@ -218,10 +239,7 @@ impl PerformanceProfile {
     /// Number of `(resource, slice)` cells whose consumption is a
     /// demand-derived estimate rather than a measurement.
     pub fn estimated_slices(&self) -> usize {
-        self.estimated
-            .iter()
-            .map(|row| row.iter().filter(|&&e| e).count())
-            .sum()
+        self.estimated.count_set()
     }
 
     /// Total number of `(resource, slice)` cells in the profile.
@@ -243,12 +261,12 @@ impl PerformanceProfile {
         PerformanceProfile {
             grid: TimesliceGrid::covering(0, slice, slice),
             resources: Vec::new(),
-            consumption: Vec::new(),
-            demand_exact: Vec::new(),
-            demand_variable: Vec::new(),
-            unattributed: Vec::new(),
+            consumption: MetricGrid::empty(),
+            demand_exact: MetricGrid::empty(),
+            demand_variable: MetricGrid::empty(),
+            unattributed: MetricGrid::empty(),
             overflow: Vec::new(),
-            estimated: Vec::new(),
+            estimated: BoolGrid::empty(),
             usages: Vec::new(),
             index: HashMap::new(),
         }
@@ -271,12 +289,12 @@ impl PerformanceProfile {
             );
             let off = out.resources.len() as u32;
             out.resources.extend(p.resources);
-            out.consumption.extend(p.consumption);
-            out.demand_exact.extend(p.demand_exact);
-            out.demand_variable.extend(p.demand_variable);
-            out.unattributed.extend(p.unattributed);
+            out.consumption.extend_rows(p.consumption);
+            out.demand_exact.extend_rows(p.demand_exact);
+            out.demand_variable.extend_rows(p.demand_variable);
+            out.unattributed.extend_rows(p.unattributed);
             out.overflow.extend(p.overflow);
-            out.estimated.extend(p.estimated);
+            out.estimated.extend_rows(p.estimated);
             for mut u in p.usages {
                 u.resource = ResourceIdx(u.resource.0 + off);
                 out.index.insert((u.instance, u.resource), out.usages.len());
@@ -305,33 +323,52 @@ pub fn build_profile(
     let ns = grid.num_slices();
     let nr = resources.instances().len();
 
-    let dm = estimate_demand(model, rules, trace, resources, &grid);
+    let dm = match cfg.backend {
+        AttributionBackend::Legacy => estimate_demand(model, rules, trace, resources, &grid),
+        AttributionBackend::Columnar => {
+            estimate_demand_columnar(model, rules, trace, resources, &grid)
+        }
+    };
     drop(demand_span);
     let upsample_span = crate::obs::span(crate::obs::Stage::Upsample);
 
     // Upsampling is independent per resource instance; fan the rows out
     // over a small thread scope when there is enough work to amortize
     // the thread spawns. Results are written into disjoint row slices, so
-    // the parallel and sequential paths are bit-identical.
-    let mut consumption = vec![vec![0.0; ns]; nr];
+    // the parallel and sequential paths are bit-identical. Each worker
+    // (and the sequential loop) owns one `UpsampleScratch`, so the
+    // columnar path allocates per worker instead of per measurement.
+    let mut consumption = MetricGrid::zeros(nr, ns);
     let mut overflow = vec![0.0; nr];
-    let upsample_row = |r: usize, row: &mut Vec<f64>| -> f64 {
+    let upsample_row = |r: usize, row: &mut [f64], scratch: &mut UpsampleScratch| -> f64 {
         let cap = resources.instances()[r].capacity;
         let mut over = 0.0;
         for m in resources.measurements(ResourceIdx(r as u32)) {
             match cfg.upsample {
                 UpsampleMode::DemandGuided => {
-                    // `upsample_measurement` reports its residue in
+                    // The measurement kernels report their residue in
                     // units x slices; normalize to unit-seconds so overflow
                     // is directly comparable with total consumption.
-                    over += upsample_measurement(
-                        m,
-                        &grid,
-                        &dm.exact[r],
-                        &dm.variable[r],
-                        cap,
-                        row,
-                    ) * grid.slice_secs();
+                    let rem = match cfg.backend {
+                        AttributionBackend::Legacy => upsample_measurement(
+                            m,
+                            &grid,
+                            &dm.exact[r],
+                            &dm.variable[r],
+                            cap,
+                            row,
+                        ),
+                        AttributionBackend::Columnar => upsample_measurement_scratch(
+                            m,
+                            &grid,
+                            &dm.exact[r],
+                            &dm.variable[r],
+                            cap,
+                            row,
+                            scratch,
+                        ),
+                    };
+                    over += rem * grid.slice_secs();
                 }
                 UpsampleMode::Constant => {
                     upsample_constant(m, &grid, row);
@@ -353,14 +390,14 @@ pub fn build_profile(
         let threads = crate::config::resolve_threads(cfg.threads, nr);
         let obs_session = crate::obs::worker_handle();
         std::thread::scope(|scope| {
-            let mut rows: Vec<(usize, &mut Vec<f64>, &mut f64)> = consumption
-                .iter_mut()
+            let mut rows: Vec<(usize, &mut [f64], &mut f64)> = consumption
+                .rows_mut()
                 .zip(overflow.iter_mut())
                 .enumerate()
                 .map(|(r, (row, over))| (r, row, over))
                 .collect();
             let chunk = rows.len().div_ceil(threads);
-            let mut work: Vec<Vec<(usize, &mut Vec<f64>, &mut f64)>> = Vec::new();
+            let mut work: Vec<Vec<(usize, &mut [f64], &mut f64)>> = Vec::new();
             while !rows.is_empty() {
                 let take = chunk.min(rows.len());
                 work.push(rows.drain(..take).collect());
@@ -372,15 +409,17 @@ pub fn build_profile(
                 // like the old crossbeam scope's `expect`.
                 scope.spawn(move || {
                     let _worker = obs_session.as_ref().map(|h| h.enter());
+                    let mut scratch = UpsampleScratch::default();
                     for (r, row, over) in batch {
-                        *over = upsample_row(r, row);
+                        *over = upsample_row(r, row, &mut scratch);
                     }
                 });
             }
         });
     } else {
-        for (r, (row, over)) in consumption.iter_mut().zip(overflow.iter_mut()).enumerate() {
-            *over = upsample_row(r, row);
+        let mut scratch = UpsampleScratch::default();
+        for (r, (row, over)) in consumption.rows_mut().zip(overflow.iter_mut()).enumerate() {
+            *over = upsample_row(r, row, &mut scratch);
         }
     }
 
@@ -390,7 +429,7 @@ pub fn build_profile(
     // demand-derived estimate *before* attribution so per-slice
     // conservation (attributed + unattributed = consumption) still holds
     // for the estimated cells.
-    let mut estimated = vec![vec![false; ns]; nr];
+    let mut estimated = BoolGrid::falses(nr, ns);
     if cfg.estimate_missing {
         for r in 0..nr {
             let cap = resources.instances()[r].capacity;
@@ -425,11 +464,14 @@ pub fn build_profile(
 
     drop(upsample_span);
     let _attribute_span = crate::obs::span(crate::obs::Stage::Attribute);
-    let att = attribute(&dm, &consumption);
+    let att = match cfg.backend {
+        AttributionBackend::Legacy => attribute(&dm, &consumption),
+        AttributionBackend::Columnar => attribute_columnar(&dm, &consumption),
+    };
 
     let mut usages = Vec::with_capacity(dm.participants.len());
     let mut index = HashMap::with_capacity(dm.participants.len());
-    for (pi, p) in dm.participants.into_iter().enumerate() {
+    for (pi, (p, usage)) in dm.participants.into_iter().zip(att.usage).enumerate() {
         index.insert((p.instance, p.resource), pi);
         usages.push(InstanceUsage {
             instance: p.instance,
@@ -437,7 +479,7 @@ pub fn build_profile(
             rule: p.rule,
             first_slice: p.first_slice,
             demand: p.demand,
-            usage: att.usage[pi].clone(),
+            usage,
         });
     }
 

@@ -22,6 +22,20 @@ use crate::trace::timeslice::TimesliceGrid;
 /// everything as converged on inputs of order 1e-12 (fractions of a
 /// second), leaking the whole amount back as remainder.
 pub fn waterfill(weights: &[f64], caps: &[f64], amount: f64, out: &mut [f64]) -> f64 {
+    waterfill_into(weights, caps, amount, out, &mut Vec::new())
+}
+
+/// [`waterfill`] with a caller-provided scratch buffer for the active-slot
+/// set, so hot loops (one call per measurement) do not allocate per call.
+/// Identical arithmetic — the buffer only changes where the index list
+/// lives, never its contents.
+pub fn waterfill_into(
+    weights: &[f64],
+    caps: &[f64],
+    amount: f64,
+    out: &mut [f64],
+    active: &mut Vec<usize>,
+) -> f64 {
     debug_assert_eq!(weights.len(), caps.len());
     debug_assert_eq!(weights.len(), out.len());
     let max_cap = caps.iter().copied().fold(0.0f64, f64::max);
@@ -33,9 +47,8 @@ pub fn waterfill(weights: &[f64], caps: &[f64], amount: f64, out: &mut [f64]) ->
     // within epsilon of its cap enter the active set only to stall the
     // first round on a zero scale.
     let live = |out: &[f64], i: usize| caps[i] - out[i] > eps;
-    let mut active: Vec<usize> = (0..weights.len())
-        .filter(|&i| weights[i] > 0.0 && live(out, i))
-        .collect();
+    active.clear();
+    active.extend((0..weights.len()).filter(|&i| weights[i] > 0.0 && live(out, i)));
     while remaining > eps && !active.is_empty() {
         let wsum: f64 = active.iter().map(|&i| weights[i]).sum();
         if wsum <= 0.0 {
@@ -43,7 +56,7 @@ pub fn waterfill(weights: &[f64], caps: &[f64], amount: f64, out: &mut [f64]) ->
         }
         // Largest uniform scale before some slot hits its cap.
         let mut scale = remaining / wsum;
-        for &i in &active {
+        for &i in active.iter() {
             let headroom = caps[i] - out[i];
             scale = scale.min(headroom / weights[i]);
         }
@@ -55,7 +68,7 @@ pub fn waterfill(weights: &[f64], caps: &[f64], amount: f64, out: &mut [f64]) ->
             }
             continue;
         }
-        for &i in &active {
+        for &i in active.iter() {
             out[i] += scale * weights[i];
         }
         remaining -= scale * wsum;
@@ -117,6 +130,93 @@ pub fn upsample_measurement(
     }
 
     out[ws..we].copy_from_slice(&x);
+    rem
+}
+
+/// Reusable buffers for the columnar upsampling path: one allocation per
+/// worker instead of ~five per measurement. The buffers never outlive a
+/// call's arithmetic — they only move where the temporaries live.
+#[derive(Default)]
+pub struct UpsampleScratch {
+    targets: Vec<f64>,
+    weights: Vec<f64>,
+    caps: Vec<f64>,
+    headroom: Vec<f64>,
+    active: Vec<usize>,
+}
+
+/// The columnar fast path of [`upsample_measurement`]: identical
+/// arithmetic (same three placement steps, same water-filling, same
+/// epsilons), but temporaries come from `scratch` and the window is
+/// computed **in place** in `out[ws..we]` instead of a fresh buffer that
+/// is copied back. Bit-identical to the legacy path — the legacy buffer
+/// also started from zero, so zeroing the window first reproduces it
+/// exactly; `tests/columnar_equivalence.rs` pins this.
+pub fn upsample_measurement_scratch(
+    m: &Measurement,
+    grid: &TimesliceGrid,
+    exact: &[f64],
+    variable: &[f64],
+    capacity: f64,
+    out: &mut [f64],
+    scratch: &mut UpsampleScratch,
+) -> f64 {
+    let ws = grid.snap(m.start);
+    let we = grid.snap(m.end).max(ws + 1).min(grid.num_slices());
+    let n = we - ws;
+    let total = m.avg * duration_slices(m, grid); // in (units × slices)
+
+    let x = &mut out[ws..we];
+    x.fill(0.0);
+
+    // Step 1: proportional to known demand, capped by min(demand, capacity).
+    scratch.targets.clear();
+    scratch
+        .targets
+        .extend(exact[ws..we].iter().map(|&e| e.min(capacity)));
+    let tsum: f64 = scratch.targets.iter().sum();
+    let mut rem = total;
+    if tsum > 0.0 {
+        let placed = total.min(tsum);
+        for i in 0..n {
+            x[i] = placed * scratch.targets[i] / tsum;
+        }
+        rem = total - placed;
+    }
+
+    // Step 2: remainder proportional to variable demand, capped by capacity.
+    if rem > 1e-12 {
+        scratch.weights.clear();
+        scratch.weights.extend_from_slice(&variable[ws..we]);
+        scratch.caps.clear();
+        scratch.caps.resize(n, capacity);
+        rem = waterfill_into(
+            &scratch.weights,
+            &scratch.caps,
+            rem,
+            x,
+            &mut scratch.active,
+        );
+    }
+
+    // Step 3: residue proportional to remaining headroom (covers system
+    // activity no modeled phase demanded).
+    if rem > 1e-12 {
+        scratch.headroom.clear();
+        scratch
+            .headroom
+            .extend(x.iter().map(|&v| (capacity - v).max(0.0)));
+        scratch.caps.clear();
+        scratch.caps.resize(n, capacity);
+        rem = waterfill_into(
+            &scratch.headroom,
+            &scratch.caps,
+            rem,
+            x,
+            &mut scratch.active,
+        );
+    }
+
     rem
 }
 

@@ -22,7 +22,7 @@ use serde::Value;
 
 use crate::error::Grade10Error;
 
-use super::hash::fnv1a;
+use crate::hash::fnv1a;
 
 /// Version tag in the journal header record. Bump on any change to the
 /// record schema; resume refuses journals from a different version rather

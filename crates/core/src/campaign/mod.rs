@@ -28,13 +28,15 @@
 //! is a pure function of the outcomes, so a resumed campaign's report is
 //! byte-identical to an uninterrupted one.
 
-mod hash;
 mod journal;
 mod scheduler;
 mod spec;
 mod store;
 
-pub use hash::{fnv1a, fnv1a_extend};
+// Re-exported from the shared hash module for backwards compatibility;
+// the implementation lives in [`crate::hash`] so other subsystems (the
+// binary trace format's section checksums) share one FNV-1a.
+pub use crate::hash::{fnv1a, fnv1a_extend};
 pub use journal::{Journal, JournalReplay, JOURNAL_FORMAT_VERSION};
 pub use scheduler::{
     ladder_mode, run_campaign, CampaignOptions, CampaignRun, MixAttempt, MixMode,

@@ -13,7 +13,7 @@ use serde::{Deserialize, DeError, Serialize, Value};
 
 use crate::error::Grade10Error;
 
-use super::hash::fnv1a;
+use crate::hash::fnv1a;
 
 /// Code-version tag mixed into every content hash. Bump when the
 /// characterization pipeline changes in a way that invalidates stored

@@ -1,11 +1,12 @@
-//! Content hashing for the campaign envelope.
+//! Content hashing for durable artifacts.
 //!
-//! Everything durable in a campaign — store filenames, journal record
-//! integrity, retry jitter — keys off one hash function: FNV-1a over 64
-//! bits. It is not cryptographic and does not need to be; the adversary is
-//! a crashed process and a half-written file, not a forger. What matters
-//! is that the hash is cheap, dependency-free, and stable across platforms
-//! and releases, so a store written yesterday still resolves today.
+//! Everything durable that Grade10 writes and later re-trusts — campaign
+//! store filenames, journal record integrity, retry jitter, binary-trace
+//! section checksums — keys off one hash function: FNV-1a over 64 bits.
+//! It is not cryptographic and does not need to be; the adversary is a
+//! crashed process and a half-written file, not a forger. What matters is
+//! that the hash is cheap, dependency-free, and stable across platforms
+//! and releases, so a file written yesterday still resolves today.
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;

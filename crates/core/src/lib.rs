@@ -76,6 +76,7 @@ pub mod compare;
 pub mod config;
 pub mod error;
 pub mod critical_path;
+pub mod hash;
 pub mod indicator;
 pub mod infer;
 pub mod issues;
@@ -88,7 +89,9 @@ pub mod report;
 pub mod supervise;
 pub mod trace;
 
-pub use attribution::{build_profile, PerformanceProfile, ProfileConfig, UpsampleMode};
+pub use attribution::{
+    build_profile, AttributionBackend, PerformanceProfile, ProfileConfig, UpsampleMode,
+};
 pub use campaign::{
     run_campaign, CampaignOptions, CampaignRun, CampaignSpec, MixAttempt, MixMode, MixOutcome,
     MixSpec,

@@ -1,0 +1,771 @@
+//! Versioned binary trace container: the offline interchange format for
+//! event streams and monitoring data, alongside the JSON-lines text forms.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! [0..8)    magic            b"G10TRACE"
+//! [8..12)   format version   u32 (currently 1)
+//! [12..16)  section count    u32
+//! [16..24)  table checksum   u64  FNV-1a over the raw section table
+//! [24..)    section table    count × 32-byte entries:
+//!             id u32 | reserved u32 | offset u64 | len u64 | crc u64
+//! ...       section payloads at their recorded offsets
+//! ```
+//!
+//! Sections (`crc` is FNV-1a over the payload bytes — the same
+//! [`crate::hash::fnv1a`] the campaign journal uses):
+//!
+//! * `STRINGS` (1): `u32` count, then per string `u32` length + UTF-8 bytes.
+//!   Deduplicated pool for phase-type names and resource kinds.
+//! * `PATHS` (2): `u32` count, then per path `u32` segment count +
+//!   per segment (`u32` string id, `u32` instance key). Deduplicated.
+//! * `EVENTS` (3): `u32` count, then fixed 20-byte records:
+//!   `time u64 | machine u16 | thread u16 | kind u8 | pad [u8; 3] |
+//!   payload u32`. Kinds: 0 `PhaseStart` / 1 `PhaseEnd` (payload = path
+//!   id), 2 `BlockStart` / 3 `BlockEnd` (payload = string id of the
+//!   blocking resource).
+//! * `RESOURCES` (4, optional): `u32` count, then per resource
+//!   `u32` kind string id | `u32` machine (`u32::MAX` = cluster-global) |
+//!   `u64` capacity bits | `u32` measurement count | per measurement
+//!   `start u64 | end u64 | avg-bits u64`. Floats travel as
+//!   [`f64::to_bits`], so a round trip is exact.
+//!
+//! Damage handling: every structural defect — short header, wrong magic,
+//! unsupported version, truncated or overlapping sections, zero-length
+//! sections, checksum mismatches, dangling string/path references —
+//! returns [`Grade10Error::Serialization`]. Decoding never panics on
+//! arbitrary input; `tests/binary_format.rs` fuzzes this contract.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::Path;
+
+use crate::error::Grade10Error;
+use crate::hash::fnv1a;
+use crate::parse::{RawEvent, RawEventKind, RawPath};
+use crate::trace::resource::{Measurement, ResourceInstance, ResourceTrace};
+
+/// File magic: the first eight bytes of every binary trace.
+pub const MAGIC: [u8; 8] = *b"G10TRACE";
+/// Current container version. Readers reject anything newer; older
+/// versions are migrated explicitly when the format evolves (none yet).
+pub const FORMAT_VERSION: u32 = 1;
+
+const SECTION_STRINGS: u32 = 1;
+const SECTION_PATHS: u32 = 2;
+const SECTION_EVENTS: u32 = 3;
+const SECTION_RESOURCES: u32 = 4;
+
+const HEADER_LEN: usize = 24;
+const SECTION_ENTRY_LEN: usize = 32;
+const EVENT_RECORD_LEN: usize = 20;
+const MACHINE_NONE: u32 = u32::MAX;
+
+/// A decoded binary trace: the event stream plus optional monitoring data.
+#[derive(Debug, Clone)]
+pub struct BinaryTrace {
+    /// The raw execution events, in the order they were written.
+    pub events: Vec<RawEvent>,
+    /// Monitoring data, when the writer included a `RESOURCES` section.
+    pub resources: Option<ResourceTrace>,
+}
+
+fn corrupt(msg: impl Into<String>) -> Grade10Error {
+    Grade10Error::Serialization(format!("binary trace: {}", msg.into()))
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Interner {
+    pool: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl Interner {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = self.pool.len() as u32;
+        self.pool.push(s.to_string());
+        self.ids.insert(s.to_string(), id);
+        id
+    }
+}
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serializes events (and optionally monitoring data) into the binary
+/// container format.
+pub fn encode_trace(events: &[RawEvent], resources: Option<&ResourceTrace>) -> Vec<u8> {
+    let mut strings = Interner::default();
+    let mut path_ids: HashMap<RawPath, u32> = HashMap::new();
+    let mut paths: Vec<Vec<(u32, u32)>> = Vec::new();
+    let mut intern_path = |strings: &mut Interner, path: &RawPath| -> u32 {
+        if let Some(&id) = path_ids.get(path) {
+            return id;
+        }
+        let id = paths.len() as u32;
+        paths.push(
+            path.iter()
+                .map(|(name, key)| (strings.intern(name), *key))
+                .collect(),
+        );
+        path_ids.insert(path.clone(), id);
+        id
+    };
+
+    // Events first: interning fills the string/path pools as a side effect.
+    let mut events_payload = Vec::with_capacity(4 + events.len() * EVENT_RECORD_LEN);
+    push_u32(&mut events_payload, events.len() as u32);
+    for ev in events {
+        let (kind, payload) = match &ev.kind {
+            RawEventKind::PhaseStart { path } => (0u8, intern_path(&mut strings, path)),
+            RawEventKind::PhaseEnd { path } => (1u8, intern_path(&mut strings, path)),
+            RawEventKind::BlockStart { resource } => (2u8, strings.intern(resource)),
+            RawEventKind::BlockEnd { resource } => (3u8, strings.intern(resource)),
+        };
+        push_u64(&mut events_payload, ev.time);
+        events_payload.extend_from_slice(&ev.machine.to_le_bytes());
+        events_payload.extend_from_slice(&ev.thread.to_le_bytes());
+        events_payload.push(kind);
+        events_payload.extend_from_slice(&[0u8; 3]);
+        push_u32(&mut events_payload, payload);
+    }
+
+    let resources_payload = resources.map(|rt| {
+        let mut buf = Vec::new();
+        push_u32(&mut buf, rt.instances().len() as u32);
+        for (r, inst) in rt.instances().iter().enumerate() {
+            push_u32(&mut buf, strings.intern(&inst.kind));
+            push_u32(
+                &mut buf,
+                inst.machine.map_or(MACHINE_NONE, |m| m as u32),
+            );
+            push_u64(&mut buf, inst.capacity.to_bits());
+            let ms = rt.measurements(crate::trace::resource::ResourceIdx(r as u32));
+            push_u32(&mut buf, ms.len() as u32);
+            for m in ms {
+                push_u64(&mut buf, m.start);
+                push_u64(&mut buf, m.end);
+                push_u64(&mut buf, m.avg.to_bits());
+            }
+        }
+        buf
+    });
+
+    let mut strings_payload = Vec::new();
+    push_u32(&mut strings_payload, strings.pool.len() as u32);
+    for s in &strings.pool {
+        push_u32(&mut strings_payload, s.len() as u32);
+        strings_payload.extend_from_slice(s.as_bytes());
+    }
+
+    let mut paths_payload = Vec::new();
+    push_u32(&mut paths_payload, paths.len() as u32);
+    for path in &paths {
+        push_u32(&mut paths_payload, path.len() as u32);
+        for &(sid, key) in path {
+            push_u32(&mut paths_payload, sid);
+            push_u32(&mut paths_payload, key);
+        }
+    }
+
+    let mut sections: Vec<(u32, Vec<u8>)> = vec![
+        (SECTION_STRINGS, strings_payload),
+        (SECTION_PATHS, paths_payload),
+        (SECTION_EVENTS, events_payload),
+    ];
+    if let Some(p) = resources_payload {
+        sections.push((SECTION_RESOURCES, p));
+    }
+
+    let table_len = sections.len() * SECTION_ENTRY_LEN;
+    let mut offset = (HEADER_LEN + table_len) as u64;
+    let mut table = Vec::with_capacity(table_len);
+    for (id, payload) in &sections {
+        push_u32(&mut table, *id);
+        push_u32(&mut table, 0); // reserved
+        push_u64(&mut table, offset);
+        push_u64(&mut table, payload.len() as u64);
+        push_u64(&mut table, fnv1a(payload));
+        offset += payload.len() as u64;
+    }
+
+    let mut out = Vec::with_capacity(offset as usize);
+    out.extend_from_slice(&MAGIC);
+    push_u32(&mut out, FORMAT_VERSION);
+    push_u32(&mut out, sections.len() as u32);
+    push_u64(&mut out, fnv1a(&table));
+    out.extend_from_slice(&table);
+    for (_, payload) in &sections {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// Encodes and writes a binary trace to `path` via a temp-file rename, so
+/// a crash mid-write leaves no half-written file under the final name.
+pub fn write_trace_file(
+    path: &Path,
+    events: &[RawEvent],
+    resources: Option<&ResourceTrace>,
+) -> Result<(), Grade10Error> {
+    let bytes = encode_trace(events, resources);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian reader over a byte slice. Every accessor
+/// returns a classified error instead of panicking, which is what makes
+/// the no-panic-on-corrupt-input guarantee auditable.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8], what: &'static str) -> Self {
+        Cursor { bytes, pos: 0, what }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Grade10Error> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| {
+                corrupt(format!(
+                    "{} section truncated at byte {} (wanted {} more of {})",
+                    self.what,
+                    self.pos,
+                    n,
+                    self.bytes.len()
+                ))
+            })?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, Grade10Error> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, Grade10Error> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, Grade10Error> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn finish(self) -> Result<(), Grade10Error> {
+        if self.pos != self.bytes.len() {
+            return Err(corrupt(format!(
+                "{} section has {} trailing bytes",
+                self.what,
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+struct Section<'a> {
+    id: u32,
+    payload: &'a [u8],
+}
+
+/// Validates the container (magic, version, table checksum, section
+/// bounds, per-section checksums) and returns the verified sections.
+fn validate_container(bytes: &[u8]) -> Result<Vec<Section<'_>>, Grade10Error> {
+    if bytes.len() < HEADER_LEN {
+        return Err(corrupt(format!(
+            "file too short for header: {} bytes",
+            bytes.len()
+        )));
+    }
+    if bytes[0..8] != MAGIC {
+        return Err(corrupt("bad magic (not a Grade10 binary trace)"));
+    }
+    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if version != FORMAT_VERSION {
+        return Err(corrupt(format!(
+            "unsupported version {version} (reader supports {FORMAT_VERSION})"
+        )));
+    }
+    let count = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
+    let table_crc = u64::from_le_bytes([
+        bytes[16], bytes[17], bytes[18], bytes[19], bytes[20], bytes[21], bytes[22], bytes[23],
+    ]);
+    let table_end = HEADER_LEN
+        .checked_add(count.checked_mul(SECTION_ENTRY_LEN).ok_or_else(|| {
+            corrupt(format!("absurd section count {count}"))
+        })?)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| {
+            corrupt(format!(
+                "section table truncated: {count} sections do not fit in {} bytes",
+                bytes.len()
+            ))
+        })?;
+    let table = &bytes[HEADER_LEN..table_end];
+    let actual = fnv1a(table);
+    if actual != table_crc {
+        return Err(corrupt(format!(
+            "section table checksum mismatch (recorded {table_crc:#018x}, computed {actual:#018x})"
+        )));
+    }
+
+    let mut sections = Vec::with_capacity(count);
+    let mut next_free = table_end as u64;
+    for (i, entry) in table.chunks_exact(SECTION_ENTRY_LEN).enumerate() {
+        let id = u32::from_le_bytes([entry[0], entry[1], entry[2], entry[3]]);
+        let offset = u64::from_le_bytes([
+            entry[8], entry[9], entry[10], entry[11], entry[12], entry[13], entry[14], entry[15],
+        ]);
+        let len = u64::from_le_bytes([
+            entry[16], entry[17], entry[18], entry[19], entry[20], entry[21], entry[22], entry[23],
+        ]);
+        let crc = u64::from_le_bytes([
+            entry[24], entry[25], entry[26], entry[27], entry[28], entry[29], entry[30], entry[31],
+        ]);
+        if len == 0 {
+            return Err(corrupt(format!("section {i} (id {id}) has zero length")));
+        }
+        if offset < next_free {
+            return Err(corrupt(format!(
+                "section {i} (id {id}) overlaps preceding data (offset {offset})"
+            )));
+        }
+        let end = offset.checked_add(len).filter(|&e| e <= bytes.len() as u64);
+        let Some(end) = end else {
+            return Err(corrupt(format!(
+                "section {i} (id {id}) truncated: [{offset}, {offset}+{len}) exceeds file of {} bytes",
+                bytes.len()
+            )));
+        };
+        let payload = &bytes[offset as usize..end as usize];
+        let actual = fnv1a(payload);
+        if actual != crc {
+            return Err(corrupt(format!(
+                "section {i} (id {id}) checksum mismatch (recorded {crc:#018x}, computed {actual:#018x})"
+            )));
+        }
+        next_free = end;
+        sections.push(Section { id, payload });
+    }
+    Ok(sections)
+}
+
+fn decode_strings(payload: &[u8]) -> Result<Vec<String>, Grade10Error> {
+    let mut c = Cursor::new(payload, "strings");
+    let count = c.u32()? as usize;
+    let mut out = Vec::new();
+    for i in 0..count {
+        let len = c.u32()? as usize;
+        let bytes = c.take(len)?;
+        let s = std::str::from_utf8(bytes)
+            .map_err(|_| corrupt(format!("string {i} is not valid UTF-8")))?;
+        out.push(s.to_string());
+    }
+    c.finish()?;
+    Ok(out)
+}
+
+fn decode_paths(payload: &[u8], strings: &[String]) -> Result<Vec<RawPath>, Grade10Error> {
+    let mut c = Cursor::new(payload, "paths");
+    let count = c.u32()? as usize;
+    let mut out = Vec::new();
+    for i in 0..count {
+        let nsegs = c.u32()? as usize;
+        let mut path = Vec::new();
+        for _ in 0..nsegs {
+            let sid = c.u32()? as usize;
+            let key = c.u32()?;
+            let name = strings.get(sid).ok_or_else(|| {
+                corrupt(format!(
+                    "path {i} references string {sid} of {}",
+                    strings.len()
+                ))
+            })?;
+            path.push((name.clone(), key));
+        }
+        out.push(path);
+    }
+    c.finish()?;
+    Ok(out)
+}
+
+fn decode_events(
+    payload: &[u8],
+    strings: &[String],
+    paths: &[RawPath],
+) -> Result<Vec<RawEvent>, Grade10Error> {
+    let mut c = Cursor::new(payload, "events");
+    let count = c.u32()? as usize;
+    let mut out = Vec::new();
+    for i in 0..count {
+        let time = c.u64()?;
+        let machine = c.u16()?;
+        let thread = c.u16()?;
+        let kind = c.take(4)?[0];
+        let payload_id = c.u32()? as usize;
+        let path = |what: &str| -> Result<RawPath, Grade10Error> {
+            paths.get(payload_id).cloned().ok_or_else(|| {
+                corrupt(format!(
+                    "event {i} ({what}) references path {payload_id} of {}",
+                    paths.len()
+                ))
+            })
+        };
+        let string = |what: &str| -> Result<String, Grade10Error> {
+            strings.get(payload_id).cloned().ok_or_else(|| {
+                corrupt(format!(
+                    "event {i} ({what}) references string {payload_id} of {}",
+                    strings.len()
+                ))
+            })
+        };
+        let kind = match kind {
+            0 => RawEventKind::PhaseStart { path: path("PhaseStart")? },
+            1 => RawEventKind::PhaseEnd { path: path("PhaseEnd")? },
+            2 => RawEventKind::BlockStart { resource: string("BlockStart")? },
+            3 => RawEventKind::BlockEnd { resource: string("BlockEnd")? },
+            k => return Err(corrupt(format!("event {i} has unknown kind {k}"))),
+        };
+        out.push(RawEvent {
+            time,
+            machine,
+            thread,
+            kind,
+        });
+    }
+    c.finish()?;
+    Ok(out)
+}
+
+fn decode_resources(payload: &[u8], strings: &[String]) -> Result<ResourceTrace, Grade10Error> {
+    let mut c = Cursor::new(payload, "resources");
+    let count = c.u32()? as usize;
+    let mut rt = ResourceTrace::new();
+    for i in 0..count {
+        let sid = c.u32()? as usize;
+        let machine_raw = c.u32()?;
+        let capacity = f64::from_bits(c.u64()?);
+        let kind = strings.get(sid).ok_or_else(|| {
+            corrupt(format!(
+                "resource {i} references string {sid} of {}",
+                strings.len()
+            ))
+        })?;
+        let machine = if machine_raw == MACHINE_NONE {
+            None
+        } else {
+            u16::try_from(machine_raw)
+                .map(Some)
+                .map_err(|_| corrupt(format!("resource {i} has machine {machine_raw} out of range")))?
+        };
+        let idx = rt.try_add_resource(ResourceInstance {
+            kind: kind.clone(),
+            machine,
+            capacity,
+        })?;
+        let mcount = c.u32()? as usize;
+        for _ in 0..mcount {
+            let start = c.u64()?;
+            let end = c.u64()?;
+            let avg = f64::from_bits(c.u64()?);
+            rt.try_add_measurement(idx, Measurement { start, end, avg })?;
+        }
+    }
+    c.finish()?;
+    Ok(rt)
+}
+
+/// Decodes a binary trace from in-memory bytes, verifying every checksum.
+/// All damage — truncation, bit flips, dangling references — yields a
+/// [`Grade10Error`]; this function does not panic on arbitrary input.
+pub fn decode_trace(bytes: &[u8]) -> Result<BinaryTrace, Grade10Error> {
+    let sections = validate_container(bytes)?;
+    let find = |id: u32| sections.iter().find(|s| s.id == id).map(|s| s.payload);
+    let strings = decode_strings(
+        find(SECTION_STRINGS).ok_or_else(|| corrupt("missing strings section"))?,
+    )?;
+    let paths = decode_paths(
+        find(SECTION_PATHS).ok_or_else(|| corrupt("missing paths section"))?,
+        &strings,
+    )?;
+    let events = decode_events(
+        find(SECTION_EVENTS).ok_or_else(|| corrupt("missing events section"))?,
+        &strings,
+        &paths,
+    )?;
+    let resources = find(SECTION_RESOURCES)
+        .map(|p| decode_resources(p, &strings))
+        .transpose()?;
+    Ok(BinaryTrace { events, resources })
+}
+
+// ---------------------------------------------------------------------------
+// Memory-mapped file access
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> i32;
+    }
+}
+
+/// The raw bytes of an opened trace file: a read-only memory map on Unix,
+/// an owned buffer elsewhere (or when mapping fails). Either way it derefs
+/// to `&[u8]`, so the decoder is agnostic to where the bytes live.
+pub enum TraceBytes {
+    /// A read-only `mmap` of the file; unmapped on drop.
+    #[cfg(unix)]
+    Mapped {
+        /// Start of the mapping.
+        ptr: *const u8,
+        /// Length of the mapping in bytes.
+        len: usize,
+    },
+    /// The file contents read into memory.
+    Owned(Vec<u8>),
+}
+
+// The mapping is read-only and never aliased mutably.
+#[cfg(unix)]
+unsafe impl Send for TraceBytes {}
+#[cfg(unix)]
+unsafe impl Sync for TraceBytes {}
+
+impl std::ops::Deref for TraceBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            TraceBytes::Mapped { ptr, len } => unsafe {
+                std::slice::from_raw_parts(*ptr, *len)
+            },
+            TraceBytes::Owned(v) => v,
+        }
+    }
+}
+
+impl Drop for TraceBytes {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let TraceBytes::Mapped { ptr, len } = self {
+            // Failure here would mean the mapping was already gone; there
+            // is nothing useful to do about it during drop.
+            unsafe {
+                sys::munmap(*ptr as *mut std::ffi::c_void, *len);
+            }
+        }
+    }
+}
+
+/// Opens a trace file as bytes: zero-copy `mmap` on Unix, falling back to
+/// an ordinary read when the file is empty or the mapping fails.
+pub fn map_trace_file(path: &Path) -> Result<TraceBytes, Grade10Error> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::io::AsRawFd;
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if len > 0 {
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize != -1 {
+                return Ok(TraceBytes::Mapped {
+                    ptr: ptr as *const u8,
+                    len,
+                });
+            }
+        }
+    }
+    Ok(TraceBytes::Owned(std::fs::read(path)?))
+}
+
+/// Opens, validates, and decodes a binary trace file (memory-mapped where
+/// the platform supports it).
+pub fn read_trace_file(path: &Path) -> Result<BinaryTrace, Grade10Error> {
+    let bytes = map_trace_file(path)?;
+    decode_trace(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<RawEvent> {
+        let path = vec![("job".to_string(), 0u32)];
+        vec![
+            RawEvent {
+                time: 0,
+                machine: 0,
+                thread: 0,
+                kind: RawEventKind::PhaseStart { path: path.clone() },
+            },
+            RawEvent {
+                time: 5_000_000,
+                machine: 0,
+                thread: 1,
+                kind: RawEventKind::BlockStart {
+                    resource: "msgq".into(),
+                },
+            },
+            RawEvent {
+                time: 9_000_000,
+                machine: 0,
+                thread: 1,
+                kind: RawEventKind::BlockEnd {
+                    resource: "msgq".into(),
+                },
+            },
+            RawEvent {
+                time: 20_000_000,
+                machine: 0,
+                thread: 0,
+                kind: RawEventKind::PhaseEnd { path },
+            },
+        ]
+    }
+
+    fn sample_resources() -> ResourceTrace {
+        let mut rt = ResourceTrace::new();
+        let cpu = rt.add_resource(ResourceInstance {
+            kind: "cpu".into(),
+            machine: Some(0),
+            capacity: 4.0,
+        });
+        rt.add_series(cpu, 0, 10_000_000, &[0.5, 1.25, 0.125]);
+        let net = rt.add_resource(ResourceInstance {
+            kind: "net".into(),
+            machine: None,
+            capacity: 125e6,
+        });
+        rt.add_series(net, 0, 10_000_000, &[1e6, 0.0]);
+        rt
+    }
+
+    #[test]
+    fn round_trip_events_only() {
+        let events = sample_events();
+        let bytes = encode_trace(&events, None);
+        let back = decode_trace(&bytes).unwrap();
+        assert_eq!(back.events, events);
+        assert!(back.resources.is_none());
+    }
+
+    #[test]
+    fn round_trip_with_resources() {
+        let events = sample_events();
+        let rt = sample_resources();
+        let bytes = encode_trace(&events, Some(&rt));
+        let back = decode_trace(&bytes).unwrap();
+        assert_eq!(back.events, events);
+        let brt = back.resources.unwrap();
+        assert_eq!(brt.instances(), rt.instances());
+        for r in 0..rt.instances().len() {
+            let idx = crate::trace::resource::ResourceIdx(r as u32);
+            assert_eq!(brt.measurements(idx), rt.measurements(idx));
+        }
+    }
+
+    #[test]
+    fn file_round_trip_via_mmap() {
+        let dir = std::env::temp_dir().join("grade10-binary-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unit.g10t");
+        let events = sample_events();
+        write_trace_file(&path, &events, None).unwrap();
+        let back = read_trace_file(&path).unwrap();
+        assert_eq!(back.events, events);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_event_stream_round_trips() {
+        let bytes = encode_trace(&[], None);
+        let back = decode_trace(&bytes).unwrap();
+        assert!(back.events.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_trace(&sample_events(), None);
+        bytes[0] ^= 0xFF;
+        let err = decode_trace(&bytes).unwrap_err();
+        assert!(matches!(err, Grade10Error::Serialization(_)), "{err}");
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_checksum() {
+        let mut bytes = encode_trace(&sample_events(), None);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let err = decode_trace(&bytes).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let bytes = encode_trace(&sample_events(), Some(&sample_resources()));
+        for keep in 0..bytes.len() {
+            assert!(
+                decode_trace(&bytes[..keep]).is_err(),
+                "decode of {keep}-byte prefix unexpectedly succeeded"
+            );
+        }
+    }
+}

@@ -51,18 +51,30 @@
 //!     Write the built-in expert input (execution model, resource model,
 //!     attribution rules) as a reusable JSON bundle.
 //!
-//! grade10 analyze --model BUNDLE.json --events EVENTS.jsonl
-//!                 --resources RESOURCES.json [--slice-ms N] [--gantt]
+//! grade10 analyze --model BUNDLE.json
+//!                 (--events EVENTS.jsonl --resources RESOURCES.json
+//!                  | --trace TRACE.g10t)
+//!                 [--slice-ms N] [--gantt]
 //!                 [--lenient] [--partial] [--deadline-ms N]
 //!                 [--max-retries N] [--threads N]
 //!                 [--self-profile] [--self-export DIR]
-//!     Offline analysis: characterize logs shipped from a monitored run.
-//!     With `--lenient`, degraded logs (out-of-order, truncated, gappy
-//!     monitoring) are repaired and the repairs reported instead of
-//!     aborting the analysis; `--partial` supervises the run as in `demo`.
-//!     `--self-profile` works here too — including on a previously
-//!     exported self-trace, turning the profiler on the profiler profiling
-//!     itself.
+//!     Offline analysis: characterize logs shipped from a monitored run,
+//!     either as the JSON-lines text pair or as one checksummed binary
+//!     trace container (`--trace`). With `--lenient`, degraded logs
+//!     (out-of-order, truncated, gappy monitoring) are repaired and the
+//!     repairs reported instead of aborting the analysis; `--partial`
+//!     supervises the run as in `demo`. `--self-profile` works here too —
+//!     including on a previously exported self-trace, turning the profiler
+//!     on the profiler profiling itself.
+//!
+//! grade10 convert --events EVENTS.jsonl [--resources RESOURCES.json]
+//!                 -o TRACE.g10t
+//! grade10 convert --trace TRACE.g10t --out-dir DIR
+//!     Translate between the text formats and the versioned,
+//!     per-section-checksummed binary trace container (schema in
+//!     docs/FORMATS.md). The binary form is one memory-mappable file,
+//!     loads without JSON parsing, and detects torn or corrupted data on
+//!     open.
 //! ```
 //!
 //! Exit codes: `0` — clean characterization; `2` — the supervised pipeline
@@ -93,7 +105,8 @@ use grade10::core::pipeline::{
 use grade10::core::report::{coverage_table, incident_table, ingest_table, machine_table, render_gantt, render_html_report, self_profile_table, usage_table, GanttConfig, HtmlConfig};
 use grade10::core::supervise::{characterize_events_supervised, PartialCharacterization};
 use grade10::core::trace::{
-    ingest, ExecutionTrace, IngestConfig, IngestMode, RawSeries, ResourceTrace, MILLIS,
+    ingest, read_trace_file, write_trace_file, ExecutionTrace, IngestConfig, IngestMode, RawSeries,
+    ResourceTrace, MILLIS,
 };
 
 /// Count heap allocations per thread so `--self-profile` span records can
@@ -142,10 +155,19 @@ const USAGE: &str = "usage:
   grade10 campaign --spec FILE --dir DIR [--resume] [--threads N]
                    [--lenient]
   grade10 export-model --engine giraph|powergraph [-o FILE]
-  grade10 analyze --model BUNDLE.json --events EVENTS.jsonl
-                  --resources RESOURCES.json [--slice-ms N] [--gantt]
+  grade10 analyze --model BUNDLE.json
+                  (--events EVENTS.jsonl --resources RESOURCES.json
+                   | --trace TRACE.g10t)
+                  [--slice-ms N] [--gantt]
                   [--lenient] [--partial] [--deadline-ms N] [--max-retries N]
                   [--threads N] [--self-profile] [--self-export DIR]
+  grade10 convert --events EVENTS.jsonl [--resources RESOURCES.json]
+                  -o TRACE.g10t
+  grade10 convert --trace TRACE.g10t --out-dir DIR
+
+convert translates between the JSON-lines text formats and the
+checksummed binary trace container (see docs/FORMATS.md); analyze
+ingests either form.
 
 --partial runs the pipeline supervised: panics, deadline overruns, and
 over-budget grids degrade or drop per-machine units instead of aborting,
@@ -169,6 +191,7 @@ fn run(args: &[String]) -> Result<RunStatus, String> {
         "campaign" => campaign(&flags),
         "export-model" => export_model(&flags),
         "analyze" => analyze(&flags),
+        "convert" => convert(&flags),
         other => Err(format!("unknown command '{other}'")),
     }
 }
@@ -805,10 +828,6 @@ fn export_model(flags: &HashMap<String, String>) -> Result<RunStatus, String> {
 
 fn analyze(flags: &HashMap<String, String>) -> Result<RunStatus, String> {
     let bundle_path = flags.get("--model").ok_or("analyze needs --model")?;
-    let events_path = flags.get("--events").ok_or("analyze needs --events")?;
-    let resources_path = flags
-        .get("--resources")
-        .ok_or("analyze needs --resources")?;
     let slice_ms: u64 = flags
         .get("--slice-ms")
         .map(|s| s.parse().map_err(|_| format!("bad slice '{s}'")))
@@ -816,10 +835,38 @@ fn analyze(flags: &HashMap<String, String>) -> Result<RunStatus, String> {
         .unwrap_or(10);
 
     let bundle = ModelBundle::load(open(bundle_path)?).map_err(|e| e.to_string())?;
-    let events = read_events_json(BufReader::new(open(events_path)?))
-        .map_err(|e| format!("{events_path}: {e}"))?;
-    let resources: ResourceTrace = serde_json::from_reader(BufReader::new(open(resources_path)?))
-        .map_err(|e| format!("{resources_path}: {e}"))?;
+    let (events, resources) = if let Some(trace_path) = flags.get("--trace") {
+        // Binary container: events plus (usually) embedded monitoring.
+        // Validation — magic, version, section checksums — happens inside
+        // the reader; any damage surfaces as a classified error here
+        // instead of a garbage characterization.
+        let bt = read_trace_file(std::path::Path::new(trace_path))
+            .map_err(|e| format!("{trace_path}: {e}"))?;
+        let resources = match flags.get("--resources") {
+            // An explicit monitoring file overrides the embedded section.
+            Some(rp) => serde_json::from_reader(BufReader::new(open(rp)?))
+                .map_err(|e| format!("{rp}: {e}"))?,
+            None => bt.resources.ok_or_else(|| {
+                format!(
+                    "{trace_path} has no monitoring section; pass --resources RESOURCES.json"
+                )
+            })?,
+        };
+        (bt.events, resources)
+    } else {
+        let events_path = flags
+            .get("--events")
+            .ok_or("analyze needs --events (or --trace)")?;
+        let resources_path = flags
+            .get("--resources")
+            .ok_or("analyze needs --resources (or --trace)")?;
+        let events = read_events_json(BufReader::new(open(events_path)?))
+            .map_err(|e| format!("{events_path}: {e}"))?;
+        let resources: ResourceTrace =
+            serde_json::from_reader(BufReader::new(open(resources_path)?))
+                .map_err(|e| format!("{resources_path}: {e}"))?;
+        (events, resources)
+    };
 
     // Deserialization does not validate the monitoring payload (NaN or
     // negative samples pass straight through serde), so both streams enter
@@ -855,6 +902,60 @@ fn analyze(flags: &HashMap<String, String>) -> Result<RunStatus, String> {
         flags.contains_key("--gantt"),
     );
     profiler.finish(flags)?;
+    Ok(RunStatus::Clean)
+}
+
+/// Translates between the JSON-lines text formats and the binary trace
+/// container. Text → binary needs `--events` (and optionally
+/// `--resources`) plus `-o`; binary → text needs `--trace` plus
+/// `--out-dir`, which receives `events.jsonl` and, when the container has
+/// a monitoring section, `resources.json`.
+fn convert(flags: &HashMap<String, String>) -> Result<RunStatus, String> {
+    if let Some(trace_path) = flags.get("--trace") {
+        let out_dir = flags.get("--out-dir").ok_or("convert --trace needs --out-dir")?;
+        let bt = read_trace_file(std::path::Path::new(trace_path))
+            .map_err(|e| format!("{trace_path}: {e}"))?;
+        std::fs::create_dir_all(out_dir).map_err(|e| format!("create {out_dir}: {e}"))?;
+        let events_path = format!("{out_dir}/events.jsonl");
+        let mut buf = Vec::new();
+        grade10::core::parse::write_events_json(&bt.events, &mut buf)
+            .map_err(|e| format!("render {events_path}: {e}"))?;
+        atomic_write(std::path::Path::new(&events_path), &buf)
+            .map_err(|e| format!("write {events_path}: {e}"))?;
+        let mut wrote = format!("{events_path} ({} events)", bt.events.len());
+        if let Some(rt) = &bt.resources {
+            let resources_path = format!("{out_dir}/resources.json");
+            let json =
+                serde_json::to_vec(rt).map_err(|e| format!("render {resources_path}: {e}"))?;
+            atomic_write(std::path::Path::new(&resources_path), &json)
+                .map_err(|e| format!("write {resources_path}: {e}"))?;
+            wrote = format!("{wrote}, {resources_path} ({} resources)", rt.instances().len());
+        }
+        eprintln!("wrote {wrote}");
+        return Ok(RunStatus::Clean);
+    }
+    let events_path = flags
+        .get("--events")
+        .ok_or("convert needs --events (text to binary) or --trace (binary to text)")?;
+    let out_path = flags.get("-o").ok_or("convert --events needs -o OUT.g10t")?;
+    let events = read_events_json(BufReader::new(open(events_path)?))
+        .map_err(|e| format!("{events_path}: {e}"))?;
+    let resources: Option<ResourceTrace> = flags
+        .get("--resources")
+        .map(|rp| {
+            serde_json::from_reader(BufReader::new(open(rp)?)).map_err(|e| format!("{rp}: {e}"))
+        })
+        .transpose()?;
+    write_trace_file(std::path::Path::new(out_path), &events, resources.as_ref())
+        .map_err(|e| format!("write {out_path}: {e}"))?;
+    eprintln!(
+        "wrote {out_path} ({} events{})",
+        events.len(),
+        resources
+            .as_ref()
+            .map(|rt| format!(", {} resources", rt.instances().len()))
+            .unwrap_or_default()
+    );
     Ok(RunStatus::Clean)
 }
 

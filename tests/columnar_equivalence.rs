@@ -1,0 +1,199 @@
+//! Differential equivalence of the columnar and legacy attribution
+//! backends.
+//!
+//! The columnar backend restructures the attribution core around
+//! contiguous struct-of-arrays grids, scratch-buffer reuse, and a
+//! participant-major attribution sweep. None of that may change a single
+//! bit of output: this suite drives the full 13-combination fault matrix
+//! through the *supervised* pipeline — ingest repair, per-machine
+//! isolation, estimate-missing hole filling, profile merging — under both
+//! backends at worker-pool widths 1, 2, and 8, and asserts the complete
+//! characterization (incidents, coverage, every profile float, every
+//! per-instance usage row) is identical byte for byte. Debug formatting
+//! round-trips `f64` exactly, so string equality is bit equality.
+//!
+//! Lives in its own integration-test binary because `GRADE10_THREADS` is
+//! process-global.
+
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+use grade10::cluster::{FaultClass, FaultPlan};
+use grade10::core::attribution::AttributionBackend;
+use grade10::core::config::Parallelism;
+use grade10::core::pipeline::CharacterizationConfig;
+use grade10::core::supervise::{characterize_events_supervised, PartialCharacterization};
+use grade10::core::trace::{IngestConfig, MILLIS};
+use grade10::engines::bridge::{to_raw_events, to_raw_series};
+use grade10::engines::pregel::PregelConfig;
+use grade10::engines::{run_workload, Algorithm, Dataset, EngineKind, WorkloadRun, WorkloadSpec};
+
+fn tiny_run() -> &'static WorkloadRun {
+    static RUN: OnceLock<WorkloadRun> = OnceLock::new();
+    RUN.get_or_init(|| {
+        run_workload(&WorkloadSpec {
+            dataset: Dataset::Rmat { scale: 8, seed: 3 },
+            algorithm: Algorithm::PageRank { iterations: 2 },
+            engine: EngineKind::Giraph(PregelConfig {
+                machines: 2,
+                threads: 2,
+                cores: 2.0,
+                ..Default::default()
+            }),
+        })
+    })
+}
+
+fn supervised_config(backend: AttributionBackend) -> CharacterizationConfig {
+    let mut cfg = CharacterizationConfig::default();
+    cfg.profile.slice = 10 * MILLIS;
+    cfg.profile.estimate_missing = true;
+    cfg.profile.backend = backend;
+    cfg.ingest = IngestConfig::lenient();
+    // Force the pool on even for this 3-unit workload, so the matrix
+    // genuinely exercises concurrent units at every width.
+    cfg.supervise.parallelism = Parallelism::Always;
+    cfg
+}
+
+/// The same 13 fault combinations the supervision matrix uses: every
+/// single class, then five multi-class mixtures up to all-eight.
+fn fault_masks() -> Vec<u8> {
+    (0..8)
+        .map(|b| 1u8 << b)
+        .chain([0b0011_1111, 0b1100_0000, 0b1010_1010, 0b0101_0101, 0xFF])
+        .collect()
+}
+
+fn plan_for(mask: u8, seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::clean(seed);
+    for (bit, &class) in FaultClass::ALL.iter().enumerate() {
+        if mask & (1 << bit) != 0 {
+            plan.enable(class);
+        }
+    }
+    plan
+}
+
+/// Exhaustive textual dump of a partial characterization: every incident,
+/// the coverage ledgers, and every float the profile holds — the same
+/// dump `supervision_determinism` pins across pool widths.
+fn dump(p: &PartialCharacterization) -> String {
+    let mut s = String::new();
+    for i in &p.incidents {
+        writeln!(s, "incident={i:?}").unwrap();
+    }
+    writeln!(s, "coverage={:?}", p.coverage).unwrap();
+    let profile = &p.characterization.profile;
+    writeln!(
+        s,
+        "slices={} resources={:?}",
+        profile.grid.num_slices(),
+        profile.resources
+    )
+    .unwrap();
+    writeln!(s, "consumption={:?}", profile.consumption).unwrap();
+    writeln!(s, "demand_exact={:?}", profile.demand_exact).unwrap();
+    writeln!(s, "demand_variable={:?}", profile.demand_variable).unwrap();
+    writeln!(s, "unattributed={:?}", profile.unattributed).unwrap();
+    writeln!(s, "overflow={:?}", profile.overflow).unwrap();
+    writeln!(s, "estimated={:?}", profile.estimated).unwrap();
+    for u in &profile.usages {
+        writeln!(s, "usage={u:?}").unwrap();
+    }
+    writeln!(s, "makespan={}", p.characterization.base_makespan).unwrap();
+    writeln!(s, "ingest={:?}", p.characterization.ingest).unwrap();
+    s
+}
+
+/// Runs the whole fault matrix at one pool width under one backend and
+/// returns one dump per mask. The env var pins the width; the config's
+/// `threads: None` defers to it.
+fn matrix_at(threads: &str, backend: AttributionBackend) -> Vec<String> {
+    std::env::set_var("GRADE10_THREADS", threads);
+    let run = tiny_run();
+    let cfg = supervised_config(backend);
+    let out = fault_masks()
+        .into_iter()
+        .map(|mask| {
+            let plan = plan_for(mask, 0x5D_0000 + mask as u64);
+            let events = to_raw_events(&plan.inject_logs(&run.sim.logs));
+            let monitoring = to_raw_series(&plan.inject_series(&run.sim.series), 8);
+            let p = characterize_events_supervised(
+                &run.model,
+                &run.rules_tuned,
+                &events,
+                &monitoring,
+                &cfg,
+            )
+            .unwrap_or_else(|e| panic!("mask {mask:#010b} ({backend:?}) failed: {e}"));
+            dump(&p)
+        })
+        .collect();
+    std::env::remove_var("GRADE10_THREADS");
+    out
+}
+
+/// The tentpole guarantee: at every pool width, the columnar backend's
+/// output over the entire fault matrix is byte-identical to the legacy
+/// backend's.
+#[test]
+fn columnar_equals_legacy_across_fault_matrix_and_widths() {
+    for threads in ["1", "2", "8"] {
+        let columnar = matrix_at(threads, AttributionBackend::Columnar);
+        let legacy = matrix_at(threads, AttributionBackend::Legacy);
+        assert!(
+            columnar.iter().any(|d| d.contains("incident=")),
+            "matrix produced no incidents; the fixture is too tame to prove anything"
+        );
+        for (mask, (c, l)) in fault_masks().iter().zip(columnar.iter().zip(&legacy)) {
+            assert_eq!(
+                c, l,
+                "mask {mask:#010b} at width {threads}: columnar vs legacy diverged"
+            );
+        }
+    }
+}
+
+/// The unsupervised single-process pipeline must agree too — it skips the
+/// per-machine split/merge, so it exercises one big grid per backend.
+#[test]
+fn columnar_equals_legacy_unsupervised() {
+    let run = tiny_run();
+    let dump_with = |backend| {
+        let mut cfg = CharacterizationConfig::default();
+        cfg.profile.slice = 10 * MILLIS;
+        cfg.profile.backend = backend;
+        cfg.ingest = IngestConfig::lenient();
+        let events = to_raw_events(&run.sim.logs);
+        let monitoring = to_raw_series(&run.sim.series, 8);
+        let input = grade10::core::trace::ingest(&run.model, &events, &monitoring, &cfg.ingest)
+            .expect("clean fixture ingests");
+        let result = grade10::core::pipeline::characterize_ingested(
+            &run.model,
+            &run.rules_tuned,
+            &input,
+            &cfg,
+        );
+        let p = &result.profile;
+        format!(
+            "{:?}\n{:?}\n{:?}\n{:?}\n{:?}\n{}\n{:?}",
+            p.consumption,
+            p.demand_exact,
+            p.demand_variable,
+            p.unattributed,
+            p.overflow,
+            result.base_makespan,
+            result
+                .profile
+                .usages
+                .iter()
+                .map(|u| format!("{u:?}"))
+                .collect::<Vec<_>>()
+        )
+    };
+    assert_eq!(
+        dump_with(AttributionBackend::Columnar),
+        dump_with(AttributionBackend::Legacy)
+    );
+}

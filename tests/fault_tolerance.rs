@@ -167,7 +167,7 @@ fn injection_and_repair_are_deterministic() {
             let consumption: Vec<f64> = result
                 .profile
                 .consumption
-                .iter()
+                .rows()
                 .map(|row| row.iter().sum())
                 .collect();
             format!(

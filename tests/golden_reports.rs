@@ -225,6 +225,73 @@ fn golden_self_profile_fixed_trace() {
     check_golden("self_profile_fixed_trace.txt", &self_profile_table(&meta).render());
 }
 
+/// The binary-ingest damage table: one row per corruption class applied to
+/// a deterministic binary trace, with the exact classified error message
+/// the reader reports. Encoding is deterministic and the messages carry
+/// only content-derived numbers (offsets, checksums of fixed bytes), so
+/// this compares exactly — any drift in the damage taxonomy or its
+/// wording shows up as a diff here.
+#[test]
+fn golden_binary_ingest_damage_table() {
+    use grade10::core::hash::fnv1a;
+    use grade10::core::trace::{decode_trace, encode_trace};
+
+    let run = demo_run();
+    let events = to_raw_events(&run.sim.logs);
+    let bytes = encode_trace(&events, None);
+    let section_count = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
+    let payload_start = 24 + section_count * 32;
+
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("empty file", Vec::new()),
+        ("header only", bytes[..24].to_vec()),
+        ("bad magic", {
+            let mut b = bytes.clone();
+            b[0] = b'X';
+            b
+        }),
+        ("future version", {
+            let mut b = bytes.clone();
+            b[8..12].copy_from_slice(&99u32.to_le_bytes());
+            b
+        }),
+        ("flipped table checksum", {
+            let mut b = bytes.clone();
+            b[16] ^= 0xFF;
+            b
+        }),
+        ("truncated tail", bytes[..bytes.len() - 7].to_vec()),
+        ("flipped payload byte", {
+            let mut b = bytes.clone();
+            b[payload_start] ^= 0x01;
+            b
+        }),
+        ("zero-length section", {
+            let mut b = bytes.clone();
+            b[24 + 16..24 + 24].copy_from_slice(&0u64.to_le_bytes());
+            let table = b[24..24 + section_count * 32].to_vec();
+            let crc = fnv1a(&table);
+            b[16..24].copy_from_slice(&crc.to_le_bytes());
+            b
+        }),
+        ("absurd section count", {
+            let mut b = bytes.clone();
+            b[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+            b
+        }),
+    ];
+
+    let mut t = grade10::core::report::Table::new(&["damage", "reader verdict"]);
+    for (name, damaged) in &cases {
+        let verdict = match decode_trace(damaged) {
+            Ok(_) => "ACCEPTED (bug: damage not detected)".to_string(),
+            Err(e) => e.to_string(),
+        };
+        t.row(&[name.to_string(), verdict]);
+    }
+    check_golden("binary_ingest_damage_table.txt", &t.render());
+}
+
 /// The live self-profile table from an actual recorded pipeline run, with
 /// volatile fields normalized: pins which stages appear, in what order,
 /// under which headers.
@@ -245,4 +312,30 @@ fn golden_self_profile_live_structure() {
         .expect("self-characterization");
     let out = normalize_volatile(&self_profile_table(&sc.meta).render());
     check_golden("self_profile_live_structure.txt", &out);
+}
+
+/// The post-refactor self-profile stage ranking under the *columnar*
+/// backend (explicitly pinned, not just the default): same normalization
+/// as the live-structure golden, so it documents which pipeline stages the
+/// columnar kernels still report — a stage disappearing from its own
+/// profile (e.g. an obs span lost in the backend dispatch) fails here.
+#[test]
+fn golden_self_profile_columnar_stage_ranking() {
+    use grade10::core::attribution::AttributionBackend;
+
+    let run = demo_run();
+    let mut report = IngestReport::default();
+    let resources = ingest_monitoring(
+        &to_raw_series(&run.sim.series, 8),
+        &IngestConfig::default(),
+        &mut report,
+    )
+    .expect("clean monitoring");
+    let mut cfg = demo_config(false);
+    cfg.profile.parallelism = Parallelism::Never;
+    cfg.profile.backend = AttributionBackend::Columnar;
+    let sc = characterize_self(&run.model, &run.rules_tuned, &run.trace, &resources, &cfg)
+        .expect("self-characterization");
+    let out = normalize_volatile(&self_profile_table(&sc.meta).render());
+    check_golden("self_profile_columnar_stage_ranking.txt", &out);
 }
