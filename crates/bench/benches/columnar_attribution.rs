@@ -1,25 +1,24 @@
-//! Columnar vs legacy attribution backend on `build_profile`.
+//! Absolute timing of the columnar attribution core on `build_profile`.
 //!
-//! Acceptance gate for the columnar attribution core: on an
+//! The legacy cell-major backend this bench originally gated against is
+//! retired (the ≥5× acceptance bar passed with ~100× to spare, and the
+//! selectable backend was scheduled to live for exactly one PR), so the
+//! comparison is gone with it. What remains is the trajectory: an
 //! attribution-heavy grid — many short-window participants per resource
-//! row, fine timeslices — the columnar backend must be at least 5× faster
-//! than the legacy cell-major backend end to end. The asymptotic gap is in
-//! the attribution sweep: legacy scans every participant of a resource for
-//! every `(resource, slice)` cell, O(resources × slices ×
-//! participants-per-resource), while columnar walks each participant's own
-//! demand window once, O(cells + demand entries). The two are
-//! bit-identical (`tests/columnar_equivalence.rs`); this bench pins the
-//! *reason* the columnar path exists.
+//! row, fine timeslices — timed end to end through `build_profile`, so a
+//! regression in the participant-major sweep, the scratch-buffer
+//! upsampling, or demand estimation shows up as a jump in the recorded
+//! median. Correctness is pinned separately by the committed goldens in
+//! `tests/columnar_equivalence.rs`.
 //!
-//! `--smoke` runs a small fixture once with no gate, for CI. The full run
-//! prints a JSON trajectory record for `BENCH_columnar_attribution.json`
-//! and exits non-zero below 5×.
+//! `--smoke` runs a small fixture once, for CI. The full run prints a JSON
+//! trajectory record for `BENCH_columnar_attribution.json`.
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use grade10_cluster::SimDuration;
-use grade10_core::attribution::{build_profile, AttributionBackend, ProfileConfig};
+use grade10_core::attribution::{build_profile, ProfileConfig};
 use grade10_core::config::Parallelism;
 use grade10_core::model::{
     AttributionRule, ExecutionModel, ExecutionModelBuilder, Repeat, RuleSet,
@@ -30,9 +29,9 @@ use grade10_core::trace::{ExecutionTrace, ResourceInstance, ResourceTrace, Trace
 /// A BSP trace shaped to stress attribution: `steps × threads` task
 /// instances per machine, each active for only one step's window, over a
 /// grid of `steps × step_ms` one-millisecond slices. Every task is a
-/// participant of its machine's cpu row, so the legacy backend's per-cell
-/// participant scan does `slices × steps × threads` window checks per row
-/// while the columnar backend touches each task's ~`step_ms` slices once.
+/// participant of its machine's cpu row, so the attribution sweep handles
+/// `slices × steps × threads` potential window checks' worth of work in
+/// one pass that touches each task's ~`step_ms` slices once.
 fn synthetic(steps: usize) -> (ExecutionModel, RuleSet, ExecutionTrace, ResourceTrace) {
     let machines = 2usize;
     let threads = 16usize;
@@ -102,41 +101,28 @@ fn time_median_us<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let (steps, iters) = if smoke { (12, 1) } else { (160, 5) };
-    println!("=== Columnar attribution: build_profile backend comparison ===\n");
+    let (steps, iters) = if smoke { (12, 1) } else { (160, 7) };
+    println!("=== Columnar attribution: build_profile absolute timing ===\n");
 
     let (model, rules, trace, rt) = synthetic(steps);
-    let cfg_for = |backend| ProfileConfig {
+    let cfg = ProfileConfig {
         slice: MILLIS,
         // Single-threaded upsampling so the measurement isolates the
         // attribution core rather than pool scheduling.
         parallelism: Parallelism::Never,
-        backend,
         ..ProfileConfig::default()
     };
 
-    let legacy_cfg = cfg_for(AttributionBackend::Legacy);
-    let columnar_cfg = cfg_for(AttributionBackend::Columnar);
-    let legacy_us =
-        time_median_us(iters, || build_profile(&model, &rules, &trace, &rt, &legacy_cfg));
-    let columnar_us =
-        time_median_us(iters, || build_profile(&model, &rules, &trace, &rt, &columnar_cfg));
-    let speedup = legacy_us / columnar_us;
+    let median_us = time_median_us(iters, || build_profile(&model, &rules, &trace, &rt, &cfg));
 
-    let profile = build_profile(&model, &rules, &trace, &rt, &columnar_cfg);
+    let profile = build_profile(&model, &rules, &trace, &rt, &cfg);
     let slices = profile.grid.num_slices();
     let participants = profile.usages.len();
 
-    let mut table = Table::new(&["backend", "median build_profile", "speedup"]);
+    let mut table = Table::new(&["stage", "median"]);
     table.row(&[
-        "legacy (cell-major)".to_string(),
-        format!("{}", SimDuration::from_nanos((legacy_us * 1e3) as u64)),
-        "1.00x".to_string(),
-    ]);
-    table.row(&[
-        "columnar".to_string(),
-        format!("{}", SimDuration::from_nanos((columnar_us * 1e3) as u64)),
-        format!("{speedup:.2}x"),
+        "build_profile (columnar)".to_string(),
+        format!("{}", SimDuration::from_nanos((median_us * 1e3) as u64)),
     ]);
     println!("{}", table.render());
     println!(
@@ -147,19 +133,12 @@ fn main() {
     // BENCH_columnar_attribution.json's `history` array.
     println!(
         "{{\"fixture\":\"steps={steps},slices={slices},participants={participants}\",\
-\"legacy_us\":{legacy_us:.0},\"columnar_us\":{columnar_us:.0},\"speedup\":{speedup:.2}}}"
+\"columnar_us\":{median_us:.0}}}"
     );
 
     if smoke {
-        println!("\nOK: smoke run complete (no gate)");
+        println!("\nOK: smoke run complete");
         return;
     }
-    // The acceptance bar from the columnar-core issue: ≥5× on large grids.
-    // The asymptotic gap on this fixture is ~100×, so 5× leaves ample
-    // headroom for machine noise before CI goes red.
-    if speedup < 5.0 {
-        eprintln!("FAIL: columnar speedup {speedup:.2}x is below the 5x acceptance bar");
-        std::process::exit(1);
-    }
-    println!("\nOK: columnar backend is {speedup:.2}x faster (bar: 5x)");
+    println!("\nOK: {iters}-iteration median recorded");
 }

@@ -21,10 +21,13 @@ pub struct AttributedUsage {
     pub unattributed: MetricGrid,
 }
 
-/// Attributes the upsampled `consumption` (`[resource][slice]`) to the
-/// participants of `dm`. Cell-major reference implementation: for every
+/// Cell-major reference implementation of [`attribute`]: for every
 /// `(resource, slice)` cell it scans all participants of that resource.
-pub fn attribute(dm: &DemandMatrix, consumption: &MetricGrid) -> AttributedUsage {
+/// Retired from the production pipeline (the participant-major kernel
+/// below is bit-identical and asymptotically cheaper); kept as the
+/// differential-testing oracle for `columnar_matches_reference_bitwise`.
+#[cfg(test)]
+fn attribute_reference(dm: &DemandMatrix, consumption: &MetricGrid) -> AttributedUsage {
     let nr = consumption.num_rows();
     let ns = consumption.num_slices();
     let mut usage: Vec<Vec<f64>> = dm
@@ -84,19 +87,22 @@ pub fn attribute(dm: &DemandMatrix, consumption: &MetricGrid) -> AttributedUsage
     }
 }
 
-/// Participant-major variant of [`attribute`]: instead of scanning every
+/// Attributes the upsampled `consumption` (`[resource][slice]`) to the
+/// participants of `dm`. Participant-major: instead of scanning every
 /// participant of a resource for every cell — O(resources × slices ×
 /// participants-per-resource) — it walks each participant's own demand
 /// window once, O(cells + total demand entries).
 ///
-/// Bit-identical to [`attribute`]: each usage cell depends only on the
-/// per-cell totals `consumption[r][s]`, `exact[r][s]`, `variable[r][s]`
-/// (precomputed either way), each participant owns its own output cell
-/// (plain assignment, never accumulation), and the per-cell formula —
+/// Bit-identical to the cell-major reference above: each usage cell
+/// depends only on the per-cell totals `consumption[r][s]`,
+/// `exact[r][s]`, `variable[r][s]` (precomputed either way), each
+/// participant owns its own output cell (plain assignment, never
+/// accumulation), and the per-cell formula —
 /// `c.min(exact_total) * d / exact_total` resp.
 /// `(c - c.min(exact_total)) * d / var_total` — is evaluated with the
-/// same operation order. `tests/columnar_equivalence.rs` pins this.
-pub fn attribute_columnar(dm: &DemandMatrix, consumption: &MetricGrid) -> AttributedUsage {
+/// same operation order. `tests/columnar_equivalence.rs` pins the
+/// end-to-end behavior against committed goldens.
+pub fn attribute(dm: &DemandMatrix, consumption: &MetricGrid) -> AttributedUsage {
     let nr = consumption.num_rows();
     let ns = consumption.num_slices();
     let mut unattributed = MetricGrid::zeros(nr, ns);
@@ -304,8 +310,8 @@ mod tests {
             vec![3.5, 0.7, 1.9, 2.0],
             vec![0.4, 2.2, 1.0, 0.0],
         ]);
-        let a = attribute(&dm, &consumption);
-        let b = attribute_columnar(&dm, &consumption);
+        let a = attribute_reference(&dm, &consumption);
+        let b = attribute(&dm, &consumption);
         assert_eq!(format!("{:?}", a.usage), format!("{:?}", b.usage));
         assert_eq!(a.unattributed, b.unattributed);
     }

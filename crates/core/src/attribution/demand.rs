@@ -68,80 +68,15 @@ pub fn active_fractions(
 /// machine `m`; a global resource (machine `None`) is demanded by every
 /// phase. Container phases (those with children in the trace) carry no
 /// demand of their own — their usage is the sum of their leaves.
+///
+/// Columnar implementation: leaves-outer, resources-inner traversal with
+/// the per-(leaf × resource) rule lookup served from a per-phase-type
+/// **rule row** computed once, collapsing the string-keyed lookups from
+/// (leaves × resources) to (types × resources). Behavior is pinned
+/// against committed goldens by `tests/columnar_equivalence.rs` (the
+/// per-cell reference implementation this replaced produced bit-identical
+/// profiles).
 pub fn estimate_demand(
-    _model: &ExecutionModel,
-    rules: &RuleSet,
-    trace: &ExecutionTrace,
-    resources: &ResourceTrace,
-    grid: &TimesliceGrid,
-) -> DemandMatrix {
-    let nr = resources.instances().len();
-    let ns = grid.num_slices();
-    let mut exact = MetricGrid::zeros(nr, ns);
-    let mut variable = MetricGrid::zeros(nr, ns);
-    let mut participants = Vec::new();
-
-    for inst in trace.leaves() {
-        let (first, af) = active_fractions(trace, inst.id, grid);
-        if af.is_empty() {
-            continue;
-        }
-        for (ri, res) in resources.instances().iter().enumerate() {
-            if let (Some(rm), Some(im)) = (res.machine, inst.machine) {
-                if rm != im {
-                    continue;
-                }
-            } else if res.machine.is_some() && inst.machine.is_none() {
-                continue;
-            }
-            let rule = rules.get(inst.type_id, &res.kind);
-            if rule.is_none() {
-                continue;
-            }
-            let mut demand = Vec::with_capacity(af.len());
-            match rule {
-                AttributionRule::None => unreachable!(),
-                AttributionRule::Exact(p) => {
-                    for (k, &a) in af.iter().enumerate() {
-                        let d = p * res.capacity * a;
-                        demand.push(d);
-                        exact[ri][first + k] += d;
-                    }
-                }
-                AttributionRule::Variable(w) => {
-                    for (k, &a) in af.iter().enumerate() {
-                        let d = w * a;
-                        demand.push(d);
-                        variable[ri][first + k] += d;
-                    }
-                }
-            }
-            participants.push(ParticipantDemand {
-                instance: inst.id,
-                resource: ResourceIdx(ri as u32),
-                rule,
-                first_slice: first,
-                demand,
-            });
-        }
-    }
-    DemandMatrix {
-        exact,
-        variable,
-        participants,
-    }
-}
-
-/// The columnar fast path of [`estimate_demand`]: same leaves-outer,
-/// resources-inner traversal (so participant order and per-cell
-/// accumulation order — and therefore every float — are bit-identical to
-/// the legacy path), but the per-(leaf × resource) rule lookup is served
-/// from a per-phase-type **rule row** computed once. The legacy path
-/// re-keys a string-keyed map for every pair, which allocates a `String`
-/// per lookup; with thousands of leaves over dozens of resources that
-/// dominates demand estimation. `tests/columnar_equivalence.rs` pins the
-/// bit-equality.
-pub fn estimate_demand_columnar(
     _model: &ExecutionModel,
     rules: &RuleSet,
     trace: &ExecutionTrace,

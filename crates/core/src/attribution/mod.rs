@@ -23,7 +23,6 @@ pub mod profile;
 pub mod upsample;
 
 pub use profile::{
-    build_profile, AttributionBackend, InstanceUsage, Parallelism, PerformanceProfile,
-    ProfileConfig, UpsampleMode,
+    build_profile, InstanceUsage, Parallelism, PerformanceProfile, ProfileConfig, UpsampleMode,
 };
 pub use upsample::relative_sampling_error;

@@ -2,10 +2,10 @@
 
 use std::collections::HashMap;
 
-use crate::attribution::attribute::{attribute, attribute_columnar};
-use crate::attribution::demand::{estimate_demand, estimate_demand_columnar};
+use crate::attribution::attribute::attribute;
+use crate::attribution::demand::estimate_demand;
 use crate::attribution::upsample::{
-    upsample_constant, upsample_measurement, upsample_measurement_scratch, UpsampleScratch,
+    upsample_constant, upsample_measurement_scratch, UpsampleScratch,
 };
 use crate::model::execution::ExecutionModel;
 use crate::model::rules::{AttributionRule, RuleSet};
@@ -20,21 +20,6 @@ pub enum UpsampleMode {
     DemandGuided,
     /// The strawman: constant usage over each measurement window.
     Constant,
-}
-
-/// Which implementation of the attribution kernels a profile build uses.
-/// Both produce bit-identical profiles (pinned by
-/// `tests/columnar_equivalence.rs`); they differ only in memory layout and
-/// allocation behavior.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum AttributionBackend {
-    /// Tight loops over the contiguous [`MetricGrid`] rows, per-phase-type
-    /// rule caching, and reused scratch buffers. The default.
-    #[default]
-    Columnar,
-    /// The original per-cell implementation, kept for one release as the
-    /// differential-testing reference.
-    Legacy,
 }
 
 pub use crate::config::Parallelism;
@@ -68,9 +53,6 @@ pub struct ProfileConfig {
     /// axis; for the rows to line up, every unit must build over the same
     /// grid, so the supervisor computes one global end and pins it here.
     pub grid_end: Option<Nanos>,
-    /// Which attribution kernel implementation to run; the output is
-    /// bit-identical either way.
-    pub backend: AttributionBackend,
 }
 
 impl Default for ProfileConfig {
@@ -82,7 +64,6 @@ impl Default for ProfileConfig {
             threads: None,
             estimate_missing: false,
             grid_end: None,
-            backend: AttributionBackend::default(),
         }
     }
 }
@@ -323,12 +304,7 @@ pub fn build_profile(
     let ns = grid.num_slices();
     let nr = resources.instances().len();
 
-    let dm = match cfg.backend {
-        AttributionBackend::Legacy => estimate_demand(model, rules, trace, resources, &grid),
-        AttributionBackend::Columnar => {
-            estimate_demand_columnar(model, rules, trace, resources, &grid)
-        }
-    };
+    let dm = estimate_demand(model, rules, trace, resources, &grid);
     drop(demand_span);
     let upsample_span = crate::obs::span(crate::obs::Stage::Upsample);
 
@@ -349,25 +325,15 @@ pub fn build_profile(
                     // The measurement kernels report their residue in
                     // units x slices; normalize to unit-seconds so overflow
                     // is directly comparable with total consumption.
-                    let rem = match cfg.backend {
-                        AttributionBackend::Legacy => upsample_measurement(
-                            m,
-                            &grid,
-                            &dm.exact[r],
-                            &dm.variable[r],
-                            cap,
-                            row,
-                        ),
-                        AttributionBackend::Columnar => upsample_measurement_scratch(
-                            m,
-                            &grid,
-                            &dm.exact[r],
-                            &dm.variable[r],
-                            cap,
-                            row,
-                            scratch,
-                        ),
-                    };
+                    let rem = upsample_measurement_scratch(
+                        m,
+                        &grid,
+                        &dm.exact[r],
+                        &dm.variable[r],
+                        cap,
+                        row,
+                        scratch,
+                    );
                     over += rem * grid.slice_secs();
                 }
                 UpsampleMode::Constant => {
@@ -464,10 +430,7 @@ pub fn build_profile(
 
     drop(upsample_span);
     let _attribute_span = crate::obs::span(crate::obs::Stage::Attribute);
-    let att = match cfg.backend {
-        AttributionBackend::Legacy => attribute(&dm, &consumption),
-        AttributionBackend::Columnar => attribute_columnar(&dm, &consumption),
-    };
+    let att = attribute(&dm, &consumption);
 
     let mut usages = Vec::with_capacity(dm.participants.len());
     let mut index = HashMap::with_capacity(dm.participants.len());

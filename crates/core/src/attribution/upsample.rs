@@ -96,41 +96,8 @@ pub fn upsample_measurement(
     capacity: f64,
     out: &mut [f64],
 ) -> f64 {
-    let ws = grid.snap(m.start);
-    let we = grid.snap(m.end).max(ws + 1).min(grid.num_slices());
-    let n = we - ws;
-    let total = m.avg * duration_slices(m, grid); // in (units × slices)
-
-    // Step 1: proportional to known demand, capped by min(demand, capacity).
-    let targets: Vec<f64> = (ws..we).map(|s| exact[s].min(capacity)).collect();
-    let tsum: f64 = targets.iter().sum();
-    let mut x = vec![0.0; n];
-    let mut rem = total;
-    if tsum > 0.0 {
-        let placed = total.min(tsum);
-        for i in 0..n {
-            x[i] = placed * targets[i] / tsum;
-        }
-        rem = total - placed;
-    }
-
-    // Step 2: remainder proportional to variable demand, capped by capacity.
-    if rem > 1e-12 {
-        let weights: Vec<f64> = (ws..we).map(|s| variable[s]).collect();
-        let caps = vec![capacity; n];
-        rem = waterfill(&weights, &caps, rem, &mut x);
-    }
-
-    // Step 3: residue proportional to remaining headroom (covers system
-    // activity no modeled phase demanded).
-    if rem > 1e-12 {
-        let headroom: Vec<f64> = x.iter().map(|&v| (capacity - v).max(0.0)).collect();
-        let caps = vec![capacity; n];
-        rem = waterfill(&headroom, &caps, rem, &mut x);
-    }
-
-    out[ws..we].copy_from_slice(&x);
-    rem
+    let mut scratch = UpsampleScratch::default();
+    upsample_measurement_scratch(m, grid, exact, variable, capacity, out, &mut scratch)
 }
 
 /// Reusable buffers for the columnar upsampling path: one allocation per
@@ -145,13 +112,14 @@ pub struct UpsampleScratch {
     active: Vec<usize>,
 }
 
-/// The columnar fast path of [`upsample_measurement`]: identical
-/// arithmetic (same three placement steps, same water-filling, same
-/// epsilons), but temporaries come from `scratch` and the window is
-/// computed **in place** in `out[ws..we]` instead of a fresh buffer that
-/// is copied back. Bit-identical to the legacy path — the legacy buffer
-/// also started from zero, so zeroing the window first reproduces it
-/// exactly; `tests/columnar_equivalence.rs` pins this.
+/// Scratch-buffer form of [`upsample_measurement`]: identical arithmetic
+/// (same three placement steps, same water-filling, same epsilons), but
+/// temporaries come from `scratch` — one allocation per worker instead of
+/// ~five per measurement — and the window is computed **in place** in
+/// `out[ws..we]`. The retired allocating path built the window in a fresh
+/// zeroed buffer and copied it back, so zeroing the window first is
+/// bit-identical; `tests/columnar_equivalence.rs` pins the end-to-end
+/// profiles against committed goldens.
 pub fn upsample_measurement_scratch(
     m: &Measurement,
     grid: &TimesliceGrid,

@@ -37,9 +37,13 @@ mod store;
 // the implementation lives in [`crate::hash`] so other subsystems (the
 // binary trace format's section checksums) share one FNV-1a.
 pub use crate::hash::{fnv1a, fnv1a_extend};
-pub use journal::{Journal, JournalReplay, JOURNAL_FORMAT_VERSION};
+pub use journal::{
+    ClaimState, FailedMix, Journal, JournalReplay, JOURNAL_FORMAT_VERSION,
+    MIN_JOURNAL_FORMAT_VERSION,
+};
 pub use scheduler::{
-    ladder_mode, run_campaign, CampaignOptions, CampaignRun, MixAttempt, MixMode,
+    campaign_status, ladder_mode, load_manifest, run_campaign, CampaignOptions, CampaignRun,
+    CampaignStatus, MixAttempt, MixMode,
 };
 pub use spec::{CampaignSpec, MixSpec, CODE_VERSION};
 pub use store::{atomic_write, MixOutcome, Store};

@@ -1,4 +1,4 @@
-//! The campaign scheduler: fans the mix matrix over a worker pool under
+//! The campaign scheduler: fans the mix matrix over a worker fleet under
 //! the durability envelope.
 //!
 //! Each mix runs at most once per launch, behind three layers of armor:
@@ -10,18 +10,35 @@
 //! exhausts its ladder becomes a campaign-level [`Incident`] and the
 //! campaign carries on — one pathological configuration must never cost
 //! the other results of an overnight screening run.
+//!
+//! Since journal format v2 the fleet can span *processes*: every worker —
+//! the in-process pool threads of one `grade10 campaign`, and any peer
+//! process joined with `--join` over a shared filesystem — coordinates
+//! purely through the journal. A worker leases a mix by appending a
+//! `claimed` record, heartbeats with `renewed`, and releases it with a
+//! terminal marker; claim races resolve by file order (first claim over
+//! an unexpired lease wins), a dead worker's lease expires and any peer
+//! reclaims the mix, and a mix that keeps killing its claimants is
+//! quarantined as poisoned instead of crash-looping the fleet. The final
+//! report is assembled from journal + store alone, in matrix order, so it
+//! is byte-identical regardless of worker count, kill schedule, or resume
+//! order.
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use serde::{Serialize as _, Value};
 
 use crate::error::Grade10Error;
 use crate::supervise::{
     panic_message, pool_map, Incident, IncidentKind, IncidentOutcome, RetryPolicy,
 };
 
-use super::journal::{Journal, JournalReplay};
+use super::journal::{FailedMix, Journal, JournalReplay};
 use super::spec::{CampaignSpec, MixSpec};
 use super::store::{atomic_write, MixOutcome, Store};
 
@@ -44,6 +61,17 @@ impl MixMode {
             MixMode::Strict => "strict",
             MixMode::Lenient => "lenient",
             MixMode::Partial => "partial",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name), for reloading the mode from the
+    /// campaign manifest a joining worker reads.
+    pub fn from_name(name: &str) -> Option<MixMode> {
+        match name {
+            "strict" => Some(MixMode::Strict),
+            "lenient" => Some(MixMode::Lenient),
+            "partial" => Some(MixMode::Partial),
+            _ => None,
         }
     }
 }
@@ -72,25 +100,44 @@ pub struct MixAttempt {
 /// it fights for each mix.
 #[derive(Clone, Debug)]
 pub struct CampaignOptions {
-    /// Campaign directory holding `journal.jsonl`, `store/`, and the
-    /// final reports.
+    /// Campaign directory holding `journal.jsonl`, `campaign.json`,
+    /// `store/`, and the final reports.
     pub dir: PathBuf,
     /// Resume a previous launch: replay the journal, serve finished
     /// mixes from the store, re-run the rest. Without this, an existing
     /// journal in `dir` is an error.
     pub resume: bool,
-    /// Worker-pool width for fanning out mixes (clamped to at least 1).
-    /// Reports are byte-identical at any width.
+    /// Join a campaign another process leads: open its journal without
+    /// truncating anything and start claiming mixes. Mutually exclusive
+    /// with `resume` (a joiner is never the epoch leader).
+    pub join: bool,
+    /// Worker-pool width: in-process claimant threads (clamped to at
+    /// least 1). Reports are byte-identical at any width.
     pub width: usize,
+    /// Worker-id prefix this process claims mixes under; thread `i`
+    /// claims as `"{worker}.{i}"`. Defaults to `"w{pid}"`, unique per
+    /// process on one machine; give shared-filesystem fleets distinct
+    /// names via `--worker`.
+    pub worker: String,
+    /// Lease duration: a claim not renewed within this window is
+    /// presumed dead and reclaimable. Coarse (default 30s) on purpose —
+    /// it only has to beat clock skew between fleet machines, not react
+    /// quickly.
+    pub lease_ms: u64,
+    /// Consecutive claimants a mix may kill (claims abandoned without a
+    /// terminal record) before it is quarantined as poisoned.
+    pub poison_threshold: u32,
+    /// How long an idle worker sleeps between journal polls while every
+    /// remaining mix is leased to someone else.
+    pub poll_ms: u64,
     /// Per-mix retry/backoff policy (normally copied from
     /// [`SuperviseConfig::retry`](crate::supervise::SuperviseConfig)).
     pub retry: RetryPolicy,
     /// Ladder rung attempt 0 runs at.
     pub base_mode: MixMode,
     /// Test-only crash simulation: stop claiming new mixes after this
-    /// many executions have started, leaving the campaign interrupted
-    /// exactly as a kill signal would (minus the torn bytes). `None` in
-    /// production.
+    /// many claims, leaving the campaign interrupted exactly as a kill
+    /// signal would (minus the torn bytes). `None` in production.
     pub stop_after: Option<usize>,
 }
 
@@ -100,7 +147,12 @@ impl CampaignOptions {
         CampaignOptions {
             dir,
             resume: false,
+            join: false,
             width: 1,
+            worker: format!("w{}", std::process::id()),
+            lease_ms: 30_000,
+            poison_threshold: 3,
+            poll_ms: 200,
             retry: RetryPolicy::default(),
             base_mode: MixMode::Strict,
             stop_after: None,
@@ -114,15 +166,17 @@ pub struct CampaignRun {
     /// Surviving outcomes, in mix-matrix order (the report ranks its own
     /// copy).
     pub outcomes: Vec<MixOutcome>,
-    /// Campaign-level incidents: one per mix that exhausted its ladder.
+    /// Campaign-level incidents: one per mix that exhausted its ladder or
+    /// was quarantined as poisoned. Reconstructed from the journal, so
+    /// every worker reports the same incidents whoever suffered them.
     pub incidents: Vec<Incident>,
-    /// Mixes actually executed this launch.
+    /// Mixes this process actually executed this launch.
     pub executed: usize,
     /// Mixes served from the store without running.
     pub cached: usize,
-    /// Mixes that failed permanently this launch.
+    /// Mixes that ended in an incident (failed or poisoned).
     pub failed: usize,
-    /// Journal records quarantined while resuming.
+    /// Journal records quarantined while reloading.
     pub quarantined_journal: usize,
     /// True when a `stop_after` budget interrupted the launch before the
     /// matrix completed; no report was written.
@@ -145,20 +199,47 @@ impl CampaignRun {
     }
 }
 
-/// How one mix ended inside the pool.
-enum MixResult {
-    Done { outcome: MixOutcome, cached: bool },
-    Failed(Incident),
-    NotRun,
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
-/// Runs (or resumes) a campaign: expands the spec, fans the matrix over
-/// the pool, and writes `report.txt` / `report.json` into the campaign
-/// directory. The `runner` characterizes one mix at one ladder rung; it
-/// fills the measurement fields of [`MixOutcome`] (`makespan_ns`,
-/// `classes`, `incidents`, `degraded`) and the scheduler normalizes the
-/// identity fields (`mix`, `hash`, `attempts`, `mode`). Runner panics are
-/// captured and enter the retry ladder like classified errors.
+/// Journal handle plus the incremental view of it, advanced together
+/// under one lock.
+struct JState {
+    journal: Journal,
+    replay: JournalReplay,
+}
+
+/// Everything the claimant threads share.
+struct Shared<'a> {
+    opts: &'a CampaignOptions,
+    items: &'a [(MixSpec, u64)],
+    store: &'a Store,
+    journal_path: &'a Path,
+    state: Mutex<JState>,
+    interrupted: AtomicBool,
+    claims_made: AtomicUsize,
+    executed: AtomicUsize,
+    /// Outcomes this process produced, the fallback if a store read fails
+    /// during final assembly.
+    local: Mutex<BTreeMap<u64, MixOutcome>>,
+}
+
+fn lock<'m, T>(m: &'m Mutex<T>) -> std::sync::MutexGuard<'m, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Runs (or resumes, or joins) a campaign: expands the spec, drains the
+/// matrix through the lease protocol, and writes `report.txt` /
+/// `report.json` into the campaign directory. The `runner` characterizes
+/// one mix at one ladder rung; it fills the measurement fields of
+/// [`MixOutcome`] (`makespan_ns`, `classes`, `incidents`, `degraded`) and
+/// the scheduler normalizes the identity fields (`mix`, `hash`,
+/// `attempts`, `mode`). Runner panics are captured and enter the retry
+/// ladder like classified errors.
 pub fn run_campaign<F>(
     spec: &CampaignSpec,
     opts: &CampaignOptions,
@@ -177,21 +258,6 @@ where
         .map_err(|e| Grade10Error::Io(format!("creating {}: {e}", opts.dir.display())))?;
     let store = Store::open(&opts.dir.join("store"))?;
     let journal_path = opts.dir.join("journal.jsonl");
-    let (journal, replay) = if opts.resume {
-        Journal::open_resume(&journal_path, &spec.name)?
-    } else {
-        if journal_path.exists() {
-            return Err(Grade10Error::Io(format!(
-                "{} already holds a campaign journal; pass --resume to continue it or use a fresh directory",
-                opts.dir.display()
-            )));
-        }
-        (Journal::create(&journal_path, &spec.name)?, JournalReplay::default())
-    };
-    let journal = Mutex::new(journal);
-    let interrupted = AtomicBool::new(false);
-    let claimed = AtomicUsize::new(0);
-
     let items: Vec<(MixSpec, u64)> = mixes
         .into_iter()
         .map(|m| {
@@ -199,46 +265,121 @@ where
             (m, h)
         })
         .collect();
-    let width = opts.width.max(1).min(items.len());
 
-    let results = pool_map(width, items, |_, (mix, hash)| {
-        run_one_mix(&mix, hash, opts, &store, &journal, &interrupted, &claimed, &runner)
+    let (journal, replay, cached) = if opts.join {
+        // The leader creates the journal; wait briefly for it to appear.
+        let mut waited = 0u64;
+        while !journal_path.exists() {
+            if waited >= 10_000 {
+                return Err(Grade10Error::Io(format!(
+                    "{}: no campaign journal appeared within 10s; is a leader running?",
+                    opts.dir.display()
+                )));
+            }
+            let step = opts.poll_ms.clamp(10, 500);
+            std::thread::sleep(Duration::from_millis(step));
+            waited += step;
+        }
+        let (j, r) = Journal::open_join(&journal_path)?;
+        let cached = items.iter().filter(|(_, h)| r.finished.contains(h)).count();
+        (j, r, cached)
+    } else if opts.resume {
+        let (mut j, mut r) = Journal::open_resume(&journal_path, &spec.name)?;
+        // Epoch boundary: the previous fleet is dead; its live claims
+        // count as abandoned and its permanent failures reopen.
+        j.record_launch(&opts.worker)?;
+        // Reconcile journal against store: the store is the outcome
+        // authority. A stored outcome whose finished record was lost is
+        // re-marked (`skipped`); a finished record whose artifact is
+        // unloadable is reopened so the mix recomputes.
+        let mut cached = 0;
+        for (mix, hash) in &items {
+            if store.load(*hash).is_some() {
+                cached += 1;
+                if !r.finished.contains(hash) {
+                    j.record_skipped(&mix.id(), *hash)?;
+                }
+            } else if r.finished.contains(hash) {
+                j.record_reopened(&mix.id(), *hash)?;
+            }
+        }
+        Journal::refresh(&journal_path, &mut r)?;
+        (j, r, cached)
+    } else {
+        if journal_path.exists() {
+            return Err(Grade10Error::Io(format!(
+                "{} already holds a campaign journal; pass --resume to continue it or use a fresh directory",
+                opts.dir.display()
+            )));
+        }
+        (Journal::create(&journal_path, &spec.name)?, JournalReplay::default(), 0)
+    };
+
+    if !opts.join {
+        // Manifest for joiners and `--status`: enough to reconstruct the
+        // matrix and the execution knobs without the original spec file.
+        let manifest = Value::Object(vec![
+            ("spec".to_string(), spec.to_value()),
+            ("base_mode".to_string(), Value::Str(opts.base_mode.name().to_string())),
+            ("lease_ms".to_string(), Value::UInt(opts.lease_ms)),
+        ]);
+        let path = opts.dir.join("campaign.json");
+        atomic_write(&path, serde_json::to_string_pretty(&manifest)?.as_bytes())
+            .map_err(|e| Grade10Error::Io(format!("writing {}: {e}", path.display())))?;
+    }
+
+    let shared = Shared {
+        opts,
+        items: &items,
+        store: &store,
+        journal_path: &journal_path,
+        state: Mutex::new(JState { journal, replay }),
+        interrupted: AtomicBool::new(false),
+        claims_made: AtomicUsize::new(0),
+        executed: AtomicUsize::new(0),
+        local: Mutex::new(BTreeMap::new()),
+    };
+    let width = opts.width.max(1).min(items.len());
+    let results = pool_map(width, (0..width).collect(), |_, slot| {
+        worker_loop(&shared, slot, &runner)
     });
+    for r in results {
+        r?;
+    }
+
+    let Shared { state, local, interrupted, executed, .. } = shared;
+    let mut st = state.into_inner().unwrap_or_else(PoisonError::into_inner);
+    Journal::refresh(&journal_path, &mut st.replay)?;
+    let local = local.into_inner().unwrap_or_else(PoisonError::into_inner);
 
     let mut run = CampaignRun {
         outcomes: Vec::new(),
         incidents: Vec::new(),
-        executed: 0,
-        cached: 0,
+        executed: executed.load(Ordering::SeqCst),
+        cached,
         failed: 0,
-        quarantined_journal: replay.quarantined,
+        quarantined_journal: st.replay.quarantined,
         interrupted: interrupted.load(Ordering::SeqCst),
         report_text: String::new(),
         report_json: String::new(),
     };
-    for r in results {
-        match r {
-            MixResult::Done { outcome, cached } => {
-                if cached {
-                    run.cached += 1;
-                } else {
-                    run.executed += 1;
-                }
-                run.outcomes.push(outcome);
-            }
-            MixResult::Failed(incident) => {
-                run.failed += 1;
-                run.executed += 1;
-                run.incidents.push(incident);
-            }
-            MixResult::NotRun => {}
-        }
-    }
     if run.interrupted {
         // The launch died before covering the matrix: leave the journal
         // and store as the durable record, write no report.
         return Ok(run);
     }
+    // Assemble in matrix order from journal + store alone, so every
+    // worker that gets here renders the identical report.
+    for (mix, hash) in &items {
+        if let Some(&n) = st.replay.poisoned.get(hash) {
+            run.incidents.push(poisoned_incident(mix, n));
+        } else if let Some(f) = st.replay.failed.get(hash) {
+            run.incidents.push(failed_incident(mix, f));
+        } else if let Some(out) = store.load(*hash).or_else(|| local.get(hash).cloned()) {
+            run.outcomes.push(out);
+        }
+    }
+    run.failed = run.incidents.len();
     let report = crate::report::campaign_report(&spec.name, &run.outcomes, &run.incidents);
     atomic_write(&opts.dir.join("report.txt"), report.text.as_bytes())
         .map_err(|e| Grade10Error::Io(format!("writing report.txt: {e}")))?;
@@ -249,55 +390,188 @@ where
     Ok(run)
 }
 
-/// Executes one mix under the envelope: store lookup, write-ahead record,
-/// retry ladder, durable completion marker.
-#[allow(clippy::too_many_arguments)]
-fn run_one_mix<F>(
-    mix: &MixSpec,
-    hash: u64,
-    opts: &CampaignOptions,
-    store: &Store,
-    journal: &Mutex<Journal>,
-    interrupted: &AtomicBool,
-    claimed: &AtomicUsize,
-    runner: &F,
-) -> MixResult
+fn failed_incident(mix: &MixSpec, f: &FailedMix) -> Incident {
+    Incident {
+        stage: "campaign",
+        unit: mix.id(),
+        kind: IncidentKind::from_name(&f.kind).unwrap_or(IncidentKind::Error),
+        detail: f.error.clone(),
+        attempts: f.attempts,
+        outcome: IncidentOutcome::Dropped,
+    }
+}
+
+fn poisoned_incident(mix: &MixSpec, claims: u32) -> Incident {
+    Incident {
+        stage: "campaign",
+        unit: mix.id(),
+        kind: IncidentKind::Poisoned,
+        detail: format!(
+            "poisoned mix: {claims} consecutive claimants died without recording an outcome"
+        ),
+        attempts: claims,
+        outcome: IncidentOutcome::Dropped,
+    }
+}
+
+/// What one pass over the matrix decided for a claimant thread.
+enum Pick {
+    /// Every mix is terminal; the campaign is drained.
+    AllTerminal,
+    /// Everything left is leased to live peers; sleep and re-poll.
+    Wait,
+    /// Journal state advanced (a skip, a quarantine, or a lost claim
+    /// race); scan again immediately.
+    Progress,
+    /// Won the lease on `items[idx]`; run it.
+    Run(usize),
+}
+
+/// One claimant thread: repeatedly pick the first available mix in matrix
+/// order, lease it through the journal, and run it under the retry
+/// ladder. Exits when the matrix is drained or the launch is interrupted.
+fn worker_loop<F>(shared: &Shared<'_>, slot: usize, runner: &F) -> Result<(), Grade10Error>
 where
     F: Fn(&MixSpec, MixAttempt) -> Result<MixOutcome, Grade10Error> + Sync,
 {
-    let id = mix.id();
-    if interrupted.load(Ordering::SeqCst) {
-        return MixResult::NotRun;
-    }
-    if opts.resume {
-        if let Some(prev) = store.load(hash) {
-            let mut j = journal.lock().unwrap_or_else(PoisonError::into_inner);
-            let _ = j.record_skipped(&id, hash);
-            return MixResult::Done { outcome: prev, cached: true };
+    let me = format!("{}.{slot}", shared.opts.worker);
+    loop {
+        if shared.interrupted.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let pick = claim_next(shared, &me)?;
+        match pick {
+            Pick::AllTerminal => return Ok(()),
+            Pick::Progress => {}
+            Pick::Wait => {
+                std::thread::sleep(Duration::from_millis(shared.opts.poll_ms.max(1)));
+            }
+            Pick::Run(idx) => run_claimed_mix(shared, &me, idx, runner)?,
         }
     }
-    if let Some(limit) = opts.stop_after {
-        if claimed.fetch_add(1, Ordering::SeqCst) >= limit {
-            interrupted.store(true, Ordering::SeqCst);
-            return MixResult::NotRun;
+}
+
+/// One claim pass, entirely under the in-process journal lock (so two
+/// local threads never race each other; cross-process races resolve by
+/// journal file order).
+fn claim_next(shared: &Shared<'_>, me: &str) -> Result<Pick, Grade10Error> {
+    let mut st = lock(&shared.state);
+    let JState { journal, replay } = &mut *st;
+    Journal::refresh(shared.journal_path, replay)?;
+    let now = now_ms();
+    let mut all_terminal = true;
+    let mut candidate: Option<(usize, u32)> = None;
+    for (i, (_, hash)) in shared.items.iter().enumerate() {
+        if replay.terminal(*hash) {
+            continue;
         }
+        all_terminal = false;
+        // A live, unexpired lease belongs to someone; an expired one
+        // means its holder is presumed dead and counts toward poison.
+        let expired = match replay.claims.get(hash) {
+            Some(c) if now <= c.deadline_ms => continue,
+            Some(_) => 1,
+            None => 0,
+        };
+        let abandoned = replay.abandoned.get(hash).copied().unwrap_or(0);
+        candidate = Some((i, abandoned + expired));
+        break;
     }
-    let journal_incident = |attempts: u32, e: Grade10Error| {
-        MixResult::Failed(Incident {
-            stage: "campaign",
-            unit: id.clone(),
-            kind: IncidentKind::of(&e),
-            detail: e.to_string(),
-            attempts,
-            outcome: IncidentOutcome::Dropped,
-        })
+    if all_terminal {
+        return Ok(Pick::AllTerminal);
+    }
+    let Some((idx, deaths)) = candidate else {
+        return Ok(Pick::Wait);
     };
-    {
-        let mut j = journal.lock().unwrap_or_else(PoisonError::into_inner);
-        if let Err(e) = j.record_started(&id, hash) {
-            return journal_incident(0, e);
+    let (mix, hash) = &shared.items[idx];
+    let id = mix.id();
+    if shared.store.load(*hash).is_some() {
+        // The store already holds this outcome (its journal record was
+        // damaged, or a peer's resume landed it); mark and move on.
+        journal.record_skipped(&id, *hash)?;
+        replay.finished.insert(*hash);
+        replay.claims.remove(hash);
+        return Ok(Pick::Progress);
+    }
+    if deaths >= shared.opts.poison_threshold {
+        // The mix keeps killing whoever claims it; quarantine instead of
+        // feeding it another worker.
+        journal.record_quarantined(&id, *hash, deaths)?;
+        Journal::refresh(shared.journal_path, replay)?;
+        return Ok(Pick::Progress);
+    }
+    if let Some(limit) = shared.opts.stop_after {
+        if shared.claims_made.fetch_add(1, Ordering::SeqCst) >= limit {
+            shared.interrupted.store(true, Ordering::SeqCst);
+            return Ok(Pick::Progress);
         }
     }
+    journal.record_claimed(&id, *hash, me, now, now + shared.opts.lease_ms)?;
+    Journal::refresh(shared.journal_path, replay)?;
+    match replay.claims.get(hash) {
+        Some(c) if c.worker == me => Ok(Pick::Run(idx)),
+        // Lost the race to a peer process whose claim hit the file first.
+        _ => Ok(Pick::Progress),
+    }
+}
+
+/// Runs one leased mix under the retry ladder, heartbeating the lease
+/// from a sidecar thread, and appends the terminal marker.
+fn run_claimed_mix<F>(
+    shared: &Shared<'_>,
+    me: &str,
+    idx: usize,
+    runner: &F,
+) -> Result<(), Grade10Error>
+where
+    F: Fn(&MixSpec, MixAttempt) -> Result<MixOutcome, Grade10Error> + Sync,
+{
+    let (mix, hash) = &shared.items[idx];
+    let id = mix.id();
+    let opts = shared.opts;
+    let done = AtomicBool::new(false);
+    let result = std::thread::scope(|s| {
+        s.spawn(|| {
+            // Renew at a third of the lease so two heartbeats can be lost
+            // before the lease lapses; poll the done flag fast enough not
+            // to delay terminal records.
+            let interval = Duration::from_millis((opts.lease_ms / 3).max(1));
+            loop {
+                let started = Instant::now();
+                while started.elapsed() < interval {
+                    if done.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                if done.load(Ordering::SeqCst) {
+                    return;
+                }
+                let mut st = lock(&shared.state);
+                let _ = st.journal.record_renewed(*hash, me, now_ms() + opts.lease_ms);
+            }
+        });
+        let r = run_ladder(shared, mix, *hash, &id, runner);
+        done.store(true, Ordering::SeqCst);
+        r
+    });
+    result
+}
+
+/// The retry ladder for one claimed mix: attempts escalate strict →
+/// lenient → partial; success stores the outcome then marks `finished`,
+/// exhaustion (or a fatal error) marks `failed` with the incident kind.
+fn run_ladder<F>(
+    shared: &Shared<'_>,
+    mix: &MixSpec,
+    hash: u64,
+    id: &str,
+    runner: &F,
+) -> Result<(), Grade10Error>
+where
+    F: Fn(&MixSpec, MixAttempt) -> Result<MixOutcome, Grade10Error> + Sync,
+{
+    let opts = shared.opts;
     let max_attempts = opts.retry.max_attempts.max(1);
     let mut attempts_made = 0;
     let mut last_err: Option<Grade10Error> = None;
@@ -315,15 +589,16 @@ where
                 outcome.hash = hash;
                 outcome.attempts = attempts_made;
                 outcome.mode = attempt.mode.name().to_string();
-                if let Err(e) = store.put(&outcome) {
+                if let Err(e) = shared.store.put(&outcome) {
                     last_err = Some(e);
                     break;
                 }
-                let mut j = journal.lock().unwrap_or_else(PoisonError::into_inner);
-                if let Err(e) = j.record_finished(&id, hash, attempts_made) {
-                    return journal_incident(attempts_made, e);
-                }
-                return MixResult::Done { outcome, cached: false };
+                let mut st = lock(&shared.state);
+                st.journal.record_finished(id, hash, attempts_made)?;
+                drop(st);
+                lock(&shared.local).insert(hash, outcome);
+                shared.executed.fetch_add(1, Ordering::SeqCst);
+                return Ok(());
             }
             Err(e) => {
                 let fatal = !e.is_recoverable();
@@ -339,11 +614,115 @@ where
     }
     let err = last_err
         .unwrap_or_else(|| Grade10Error::StagePanicked("mix produced no result".to_string()));
-    {
-        let mut j = journal.lock().unwrap_or_else(PoisonError::into_inner);
-        let _ = j.record_failed(&id, hash, &err.to_string(), attempts_made);
+    let mut st = lock(&shared.state);
+    st.journal
+        .record_failed(id, hash, &err.to_string(), attempts_made, IncidentKind::of(&err).name())?;
+    drop(st);
+    shared.executed.fetch_add(1, Ordering::SeqCst);
+    Ok(())
+}
+
+/// The campaign manifest (`campaign.json`) a leader writes: everything a
+/// joining worker or `--status` needs to reconstruct the matrix without
+/// the original spec file.
+pub fn load_manifest(dir: &Path) -> Result<(CampaignSpec, MixMode, u64), Grade10Error> {
+    let path = dir.join("campaign.json");
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        Grade10Error::Io(format!(
+            "reading {}: {e}; was a campaign started in this directory?",
+            path.display()
+        ))
+    })?;
+    let value: Value = serde_json::from_str(&text)?;
+    let Value::Object(entries) = &value else {
+        return Err(Grade10Error::Serialization(format!(
+            "{}: manifest is not an object",
+            path.display()
+        )));
+    };
+    let get = |key: &str| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let spec = CampaignSpec::from_value(get("spec").ok_or_else(|| {
+        Grade10Error::Serialization(format!("{}: manifest has no `spec`", path.display()))
+    })?)?;
+    let base_mode = match get("base_mode") {
+        Some(Value::Str(s)) => MixMode::from_name(s).ok_or_else(|| {
+            Grade10Error::Serialization(format!("{}: unknown base mode `{s}`", path.display()))
+        })?,
+        _ => MixMode::Strict,
+    };
+    let lease_ms = match get("lease_ms") {
+        Some(Value::UInt(n)) => *n,
+        _ => 30_000,
+    };
+    Ok((spec, base_mode, lease_ms))
+}
+
+/// Progress snapshot of a campaign directory, derived purely from the
+/// journal and the store. Read-only and torn-tail tolerant, so it is safe
+/// to run while workers are live.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CampaignStatus {
+    /// Campaign name from the manifest.
+    pub campaign: String,
+    /// Matrix size.
+    pub total: usize,
+    /// Mixes with a durable outcome.
+    pub finished: usize,
+    /// Mixes under a live, unexpired lease.
+    pub claimed: usize,
+    /// Mixes whose lease expired without a terminal record — their
+    /// claimant is presumed dead and any worker may reclaim them.
+    pub stale: usize,
+    /// Mixes that failed permanently this epoch.
+    pub failed: usize,
+    /// Mixes quarantined as poisoned.
+    pub poisoned: usize,
+    /// Mixes not yet claimed this epoch.
+    pub pending: usize,
+    /// Journal records quarantined while reading.
+    pub quarantined_journal: usize,
+    /// True when `report.txt` exists (the matrix was drained at least
+    /// once).
+    pub report_written: bool,
+}
+
+/// Computes a [`CampaignStatus`] for `dir` without touching any durable
+/// state.
+pub fn campaign_status(dir: &Path) -> Result<CampaignStatus, Grade10Error> {
+    let (spec, _, _) = load_manifest(dir)?;
+    let replay = Journal::replay_snapshot(&dir.join("journal.jsonl"))?;
+    let store = Store::open(&dir.join("store"))?;
+    let now = now_ms();
+    let mut status = CampaignStatus {
+        campaign: spec.name.clone(),
+        total: 0,
+        finished: 0,
+        claimed: 0,
+        stale: 0,
+        failed: 0,
+        poisoned: 0,
+        pending: 0,
+        quarantined_journal: replay.quarantined,
+        report_written: dir.join("report.txt").exists(),
+    };
+    for mix in spec.expand() {
+        let hash = mix.content_hash(&spec.code_version);
+        status.total += 1;
+        if replay.poisoned.contains_key(&hash) {
+            status.poisoned += 1;
+        } else if replay.failed.contains_key(&hash) {
+            status.failed += 1;
+        } else if replay.finished.contains(&hash) || store.load(hash).is_some() {
+            status.finished += 1;
+        } else {
+            match replay.claims.get(&hash) {
+                Some(c) if now <= c.deadline_ms => status.claimed += 1,
+                Some(_) => status.stale += 1,
+                None => status.pending += 1,
+            }
+        }
     }
-    journal_incident(attempts_made, err)
+    Ok(status)
 }
 
 #[cfg(test)]
@@ -369,6 +748,7 @@ mod tests {
             std::env::temp_dir().join(format!("g10-sched-{dir}-{}", std::process::id())),
         );
         o.retry.base = Duration::ZERO;
+        o.poll_ms = 5;
         o
     }
 
@@ -396,6 +776,14 @@ mod tests {
     }
 
     #[test]
+    fn mode_names_round_trip() {
+        for m in [MixMode::Strict, MixMode::Lenient, MixMode::Partial] {
+            assert_eq!(MixMode::from_name(m.name()), Some(m));
+        }
+        assert_eq!(MixMode::from_name("bogus"), None);
+    }
+
+    #[test]
     fn clean_campaign_completes_and_reports() {
         let o = opts("clean");
         let _ = std::fs::remove_dir_all(&o.dir);
@@ -406,6 +794,7 @@ mod tests {
         assert!(!run.report_text.is_empty());
         assert!(o.dir.join("report.txt").exists());
         assert!(o.dir.join("journal.jsonl").exists());
+        assert!(o.dir.join("campaign.json").exists(), "manifest for joiners");
         let _ = std::fs::remove_dir_all(&o.dir);
     }
 
@@ -494,6 +883,107 @@ mod tests {
         .expect("run");
         assert_eq!(run.incidents.len(), 1);
         assert_eq!(run.incidents[0].attempts, 1, "no retries for fatal errors");
+        let _ = std::fs::remove_dir_all(&o.dir);
+    }
+
+    #[test]
+    fn reports_are_identical_at_any_width() {
+        let o1 = opts("w1");
+        let mut o4 = opts("w4");
+        o4.width = 4;
+        let _ = std::fs::remove_dir_all(&o1.dir);
+        let _ = std::fs::remove_dir_all(&o4.dir);
+        let a = run_campaign(&spec(), &o1, fake_runner).expect("width 1");
+        let b = run_campaign(&spec(), &o4, fake_runner).expect("width 4");
+        assert_eq!(a.report_text, b.report_text);
+        assert_eq!(a.report_json, b.report_json);
+        let _ = std::fs::remove_dir_all(&o1.dir);
+        let _ = std::fs::remove_dir_all(&o4.dir);
+    }
+
+    #[test]
+    fn poisoned_mix_is_quarantined_not_rerun() {
+        let o = opts("poison");
+        let _ = std::fs::remove_dir_all(&o.dir);
+        std::fs::create_dir_all(&o.dir).expect("mkdir");
+        let sp = spec();
+        let victim = &sp.expand()[0];
+        let hash = victim.content_hash(&sp.code_version);
+        // Three epochs each died holding a claim on the first mix: two
+        // past launch boundaries plus the live claim our resume abandons.
+        {
+            let path = o.dir.join("journal.jsonl");
+            let mut j = Journal::create(&path, &sp.name).expect("create");
+            for _ in 0..2 {
+                j.record_claimed(&victim.id(), hash, "dead", 1, 2).expect("claim");
+                j.record_launch("next").expect("launch");
+            }
+            j.record_claimed(&victim.id(), hash, "dead", 1, 2).expect("claim");
+        }
+        let mut o2 = o.clone();
+        o2.resume = true;
+        let run = run_campaign(&sp, &o2, |mix, a| {
+            assert_ne!(mix.id(), victim.id(), "poisoned mix must not run");
+            fake_runner(mix, a)
+        })
+        .expect("resume");
+        assert_eq!(run.incidents.len(), 1);
+        assert_eq!(run.incidents[0].kind, IncidentKind::Poisoned);
+        assert_eq!(run.incidents[0].attempts, 3, "three claimants lost");
+        assert_eq!(run.outcomes.len(), 1, "healthy mix still characterized");
+        assert!(run.report_text.contains("poisoned"), "{}", run.report_text);
+        assert!(!run.is_clean());
+        let _ = std::fs::remove_dir_all(&o.dir);
+    }
+
+    #[test]
+    fn joining_a_drained_campaign_reassembles_the_same_report() {
+        let o = opts("join");
+        let _ = std::fs::remove_dir_all(&o.dir);
+        let first = run_campaign(&spec(), &o, fake_runner).expect("lead");
+        let mut oj = o.clone();
+        oj.join = true;
+        let joined = run_campaign(&spec(), &oj, |_mix, _a| {
+            panic!("nothing left for a late joiner to run")
+        })
+        .expect("join");
+        assert_eq!(joined.executed, 0);
+        assert_eq!(joined.cached, 2);
+        assert_eq!(joined.report_text, first.report_text, "byte-identical");
+        let _ = std::fs::remove_dir_all(&o.dir);
+    }
+
+    #[test]
+    fn status_reflects_journal_and_store() {
+        let o = opts("status");
+        let _ = std::fs::remove_dir_all(&o.dir);
+        run_campaign(&spec(), &o, |mix, a| {
+            if mix.algorithm == "bfs" {
+                return Err(Grade10Error::ModelMismatch("wrong model".into()));
+            }
+            fake_runner(mix, a)
+        })
+        .expect("run");
+        let st = campaign_status(&o.dir).expect("status");
+        assert_eq!(st.campaign, "unit");
+        assert_eq!(st.total, 2);
+        assert_eq!(st.finished, 1);
+        assert_eq!(st.failed, 1);
+        assert_eq!(st.pending, 0);
+        assert_eq!(st.claimed + st.stale + st.poisoned, 0);
+        assert!(st.report_written);
+        let _ = std::fs::remove_dir_all(&o.dir);
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let o = opts("manifest");
+        let _ = std::fs::remove_dir_all(&o.dir);
+        run_campaign(&spec(), &o, fake_runner).expect("run");
+        let (loaded, base, lease) = load_manifest(&o.dir).expect("manifest");
+        assert_eq!(loaded, spec());
+        assert_eq!(base, MixMode::Strict);
+        assert_eq!(lease, 30_000);
         let _ = std::fs::remove_dir_all(&o.dir);
     }
 }

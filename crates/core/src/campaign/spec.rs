@@ -139,6 +139,14 @@ impl CampaignSpec {
         Self::parse(&path.to_string_lossy(), &contents)
     }
 
+    /// Builds the spec from an already-parsed [`Value`] tree — the path a
+    /// joining worker takes when it reads the campaign manifest a leader
+    /// serialized, rather than the original spec file.
+    pub fn from_value(v: &Value) -> Result<CampaignSpec, Grade10Error> {
+        Self::from_spec_value(v)
+            .map_err(|e| Grade10Error::Serialization(format!("campaign spec: {}", e.0)))
+    }
+
     /// Builds the spec from a parsed key/value tree, applying defaults
     /// for optional axes and rejecting unknown keys (a typo'd axis name
     /// must not silently shrink the matrix).

@@ -50,10 +50,22 @@ pub struct MixOutcome {
 
 /// Writes `bytes` to `path` atomically: a temp sibling in the same
 /// directory is written, fsync'd, and renamed over the target. Readers
-/// see the old contents or the new contents, never a prefix.
+/// see the old contents or the new contents, never a prefix. The temp
+/// name carries the writer's pid *and* a per-process sequence number, so
+/// concurrent writers — peer processes racing to store the same hash, or
+/// two in-process campaign runs rendering one report — never scribble
+/// into (or rename away) each other's temp file. Both renames land whole
+/// contents, and last-rename-wins is harmless because equal hashes mean
+/// equal payloads.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
     let mut tmp_name = path.as_os_str().to_os_string();
-    tmp_name.push(".tmp");
+    tmp_name.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     let tmp = PathBuf::from(tmp_name);
     {
         use std::io::Write as _;

@@ -42,6 +42,10 @@ pub enum Grade10Error {
     /// journal, result store, report). Retrying the computation cannot
     /// help; the environment is broken.
     Io(String),
+    /// A versioned durable artifact (campaign journal, binary trace) was
+    /// written by a newer build than this one can read. Retrying cannot
+    /// help; upgrade the reader or regenerate the artifact.
+    UnsupportedVersion(String),
 }
 
 impl Grade10Error {
@@ -56,7 +60,8 @@ impl Grade10Error {
             | Grade10Error::Deadline(s)
             | Grade10Error::BudgetExceeded(s)
             | Grade10Error::StagePanicked(s)
-            | Grade10Error::Io(s) => s,
+            | Grade10Error::Io(s)
+            | Grade10Error::UnsupportedVersion(s) => s,
         }
     }
 
@@ -76,7 +81,8 @@ impl Grade10Error {
             | Grade10Error::StagePanicked(_) => true,
             Grade10Error::ModelMismatch(_)
             | Grade10Error::Serialization(_)
-            | Grade10Error::Io(_) => false,
+            | Grade10Error::Io(_)
+            | Grade10Error::UnsupportedVersion(_) => false,
         }
     }
 }
@@ -93,6 +99,7 @@ impl fmt::Display for Grade10Error {
             Grade10Error::BudgetExceeded(s) => write!(f, "budget exceeded: {s}"),
             Grade10Error::StagePanicked(s) => write!(f, "stage panicked: {s}"),
             Grade10Error::Io(s) => write!(f, "io: {s}"),
+            Grade10Error::UnsupportedVersion(s) => write!(f, "unsupported version: {s}"),
         }
     }
 }
@@ -149,6 +156,15 @@ mod tests {
         assert!(Grade10Error::StagePanicked("x".into()).is_recoverable());
         // A broken filesystem cannot be repaired by degraded re-runs.
         assert!(!Grade10Error::Io("disk full".into()).is_recoverable());
+        // Neither can an artifact from a newer build.
+        assert!(!Grade10Error::UnsupportedVersion("journal v9".into()).is_recoverable());
+    }
+
+    #[test]
+    fn unsupported_version_displays() {
+        let e = Grade10Error::UnsupportedVersion("journal is format version 9".into());
+        assert_eq!(e.to_string(), "unsupported version: journal is format version 9");
+        assert_eq!(e.detail(), "journal is format version 9");
     }
 
     #[test]

@@ -89,9 +89,7 @@ pub mod report;
 pub mod supervise;
 pub mod trace;
 
-pub use attribution::{
-    build_profile, AttributionBackend, PerformanceProfile, ProfileConfig, UpsampleMode,
-};
+pub use attribution::{build_profile, PerformanceProfile, ProfileConfig, UpsampleMode};
 pub use campaign::{
     run_campaign, CampaignOptions, CampaignRun, CampaignSpec, MixAttempt, MixMode, MixOutcome,
     MixSpec,

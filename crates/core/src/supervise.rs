@@ -233,6 +233,10 @@ pub enum IncidentKind {
     /// Implausible monitoring windows were quarantined during lenient
     /// repair (timestamp damage that would have inflated the grid).
     Quarantine,
+    /// A campaign mix killed several consecutive claimants without ever
+    /// recording an outcome and was quarantined as poisoned rather than
+    /// allowed to crash-loop the fleet.
+    Poisoned,
     /// Any other classified [`Grade10Error`] from a unit.
     Error,
 }
@@ -246,7 +250,24 @@ impl IncidentKind {
             IncidentKind::Budget => "budget",
             IncidentKind::MissingData => "missing-data",
             IncidentKind::Quarantine => "quarantine",
+            IncidentKind::Poisoned => "poisoned",
             IncidentKind::Error => "error",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name), for reconstructing incidents from
+    /// durable records (the campaign journal). Unknown names map to
+    /// `None`; callers default to [`IncidentKind::Error`].
+    pub fn from_name(name: &str) -> Option<IncidentKind> {
+        match name {
+            "panic" => Some(IncidentKind::Panic),
+            "deadline" => Some(IncidentKind::Deadline),
+            "budget" => Some(IncidentKind::Budget),
+            "missing-data" => Some(IncidentKind::MissingData),
+            "quarantine" => Some(IncidentKind::Quarantine),
+            "poisoned" => Some(IncidentKind::Poisoned),
+            "error" => Some(IncidentKind::Error),
+            _ => None,
         }
     }
 

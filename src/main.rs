@@ -31,7 +31,9 @@
 //!     formats so `grade10 analyze` can round-trip it.
 //!
 //! grade10 campaign --spec FILE --dir DIR [--resume] [--threads N]
-//!                  [--lenient]
+//!                  [--lenient] [--workers N] [--lease-ms N] [--worker NAME]
+//! grade10 campaign --join DIR [--threads N] [--lease-ms N] [--worker NAME]
+//! grade10 campaign --status DIR
 //!     Run a screening campaign: a declarative TOML/JSON spec (workload ×
 //!     dataset × engine × machines × seed × fault plan) expands into a mix
 //!     matrix and every mix is characterized under a durable robustness
@@ -46,6 +48,20 @@
 //!     degradation ladder (strict → lenient → partial); a mix that
 //!     exhausts the ladder becomes a campaign-level incident instead of
 //!     aborting the campaign.
+//!
+//!     The fleet can span processes and machines: `--workers N` spawns
+//!     N−1 peer processes against the same directory, and any process
+//!     sharing the filesystem can join a live campaign with `--join DIR`
+//!     (it reads the matrix from `DIR/campaign.json`). Workers coordinate
+//!     purely through the journal — each mix is leased via a `claimed`
+//!     record and heartbeat with `renewed` (`--lease-ms`, default 30s),
+//!     so a SIGKILLed worker's lease expires and a peer reclaims its mix;
+//!     a mix that kills several consecutive claimants is quarantined as a
+//!     poisoned-mix incident instead of crash-looping the fleet. The
+//!     ranked report stays byte-identical regardless of worker count or
+//!     kill schedule. `--status DIR` prints a read-only progress summary
+//!     (finished/claimed/stale/failed/poisoned/pending), safe while
+//!     workers are live.
 //!
 //! grade10 export-model --engine giraph|powergraph [-o FILE]
 //!     Write the built-in expert input (execution model, resource model,
@@ -153,7 +169,9 @@ const USAGE: &str = "usage:
                [--partial] [--deadline-ms N] [--max-retries N]
                [--threads N] [--self-profile] [--self-export DIR]
   grade10 campaign --spec FILE --dir DIR [--resume] [--threads N]
-                   [--lenient]
+                   [--lenient] [--workers N] [--lease-ms N] [--worker NAME]
+  grade10 campaign --join DIR [--threads N] [--lease-ms N] [--worker NAME]
+  grade10 campaign --status DIR
   grade10 export-model --engine giraph|powergraph [-o FILE]
   grade10 analyze --model BUNDLE.json
                   (--events EVENTS.jsonl --resources RESOURCES.json
@@ -176,7 +194,11 @@ and the report ends with incident and coverage tables.
 campaign runs a declarative mix matrix (TOML/JSON spec) under a durable
 envelope: finished mixes are content-hash cached, progress is journaled,
 and a killed campaign resumes with --resume without recomputing finished
-mixes or changing a byte of the final report.
+mixes or changing a byte of the final report. --workers N drains the
+matrix with N cooperating processes; any machine sharing the campaign
+directory can add workers with --join DIR (ownership is leased through
+the journal, so SIGKILLed workers are reclaimed by their peers).
+--status DIR prints read-only progress while workers are live.
 
 exit codes:
   0  clean characterization / campaign
@@ -361,9 +383,39 @@ fn demo(flags: &HashMap<String, String>) -> Result<RunStatus, String> {
 
 /// Runs (or resumes) a screening campaign from a declarative spec file.
 fn campaign(flags: &HashMap<String, String>) -> Result<RunStatus, String> {
-    let spec_path = flags.get("--spec").ok_or("campaign needs --spec FILE")?;
-    let dir = flags.get("--dir").ok_or("campaign needs --dir DIR")?;
-    let spec = CampaignSpec::load(std::path::Path::new(spec_path)).map_err(|e| e.to_string())?;
+    if let Some(dir) = flags.get("--status") {
+        return campaign_status_cmd(dir);
+    }
+    if flags.contains_key("--join") && flags.contains_key("--resume") {
+        return Err(
+            "--join and --resume are mutually exclusive: --resume leads a new epoch over a \
+             dead fleet, --join joins a live one"
+                .to_string(),
+        );
+    }
+    // A joiner takes everything from the leader's manifest; a leader
+    // takes the spec file and records the manifest for joiners.
+    let (spec, dir, manifest_mode, manifest_lease) = if let Some(dir) = flags.get("--join") {
+        // The leader writes the manifest right after opening the journal;
+        // a joiner spawned alongside it polls briefly for both.
+        let manifest = std::path::Path::new(dir).join("campaign.json");
+        for _ in 0..200 {
+            if manifest.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        let (spec, base, lease) =
+            grade10::core::campaign::load_manifest(std::path::Path::new(dir))
+                .map_err(|e| e.to_string())?;
+        (spec, dir.clone(), Some(base), Some(lease))
+    } else {
+        let spec_path = flags.get("--spec").ok_or("campaign needs --spec FILE")?;
+        let dir = flags.get("--dir").ok_or("campaign needs --dir DIR")?;
+        let spec =
+            CampaignSpec::load(std::path::Path::new(spec_path)).map_err(|e| e.to_string())?;
+        (spec, dir.clone(), None, None)
+    };
     let mixes = spec.expand();
     // Validate every axis value up front: a typo'd algorithm name should
     // fail the launch, not surface as one incident per affected mix.
@@ -383,38 +435,162 @@ fn campaign(flags: &HashMap<String, String>) -> Result<RunStatus, String> {
     // With mixes fanned out across workers, each mix runs its own pipeline
     // single-threaded; nesting pools would oversubscribe the machine.
     let inner_threads = if width > 1 { Some(1) } else { None };
-    let mut opts = CampaignOptions::new(std::path::PathBuf::from(dir));
+    let mut opts = CampaignOptions::new(std::path::PathBuf::from(&dir));
     opts.resume = flags.contains_key("--resume");
+    opts.join = flags.contains_key("--join");
     opts.width = width;
     opts.retry = grade10::core::supervise::SuperviseConfig::default().retry;
-    opts.base_mode = if flags.contains_key("--lenient") {
+    opts.base_mode = manifest_mode.unwrap_or(if flags.contains_key("--lenient") {
         MixMode::Lenient
     } else {
         MixMode::Strict
-    };
+    });
+    if let Some(lease) = manifest_lease {
+        opts.lease_ms = lease;
+    }
+    if let Some(s) = flags.get("--lease-ms") {
+        opts.lease_ms = s
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| format!("bad lease '{s}'"))?;
+    }
+    if let Some(name) = flags.get("--worker") {
+        opts.worker = name.clone();
+    }
+    let workers: usize = flags
+        .get("--workers")
+        .map(|s| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("bad worker count '{s}'"))
+        })
+        .transpose()?
+        .unwrap_or(1);
+    if workers > 1 && opts.join {
+        return Err("--workers spawns joiners; a --join process is already one".to_string());
+    }
     eprintln!(
-        "campaign {}: {} mixes over {} worker{}{}",
+        "campaign {}: {} mixes over {} worker{}{}{}",
         spec.name,
         mixes.len(),
         width,
         if width == 1 { "" } else { "s" },
-        if opts.resume { " (resuming)" } else { "" }
+        if workers > 1 {
+            format!(" in each of {workers} processes")
+        } else {
+            String::new()
+        },
+        if opts.resume {
+            " (resuming)"
+        } else if opts.join {
+            " (joining)"
+        } else {
+            ""
+        }
     );
+    // Peer worker processes join over the shared journal; they poll for
+    // the leader's journal, so spawning before run_campaign is safe.
+    let children = spawn_peer_workers(&dir, workers, flags)?;
     let run = grade10::core::campaign::run_campaign(&spec, &opts, |mix, attempt| {
         run_mix(mix, attempt, inner_threads)
     })
     .map_err(|e| e.to_string())?;
+    let mut peers_partial = false;
+    for (i, mut child) in children.into_iter().enumerate() {
+        let status = child
+            .wait()
+            .map_err(|e| format!("waiting for worker {}: {e}", i + 2))?;
+        match status.code() {
+            Some(0) => {}
+            Some(2) => peers_partial = true,
+            _ => {
+                return Err(format!(
+                    "worker process {} failed ({status}); see {dir}/worker-{}.log",
+                    i + 2,
+                    i + 2
+                ))
+            }
+        }
+    }
     eprintln!(
         "campaign {}: {} executed, {} cached, {} failed, {} journal records quarantined",
         spec.name, run.executed, run.cached, run.failed, run.quarantined_journal
     );
     print!("{}", run.report_text);
     eprintln!("wrote {dir}/report.txt and {dir}/report.json");
-    Ok(if run.is_clean() {
+    Ok(if run.is_clean() && !peers_partial {
         RunStatus::Clean
     } else {
         RunStatus::Partial
     })
+}
+
+/// Spawns `workers - 1` peer `grade10 campaign --join` processes against
+/// `dir`, each logging to `dir/worker-N.log`. The calling process is
+/// worker 1.
+fn spawn_peer_workers(
+    dir: &str,
+    workers: usize,
+    flags: &HashMap<String, String>,
+) -> Result<Vec<std::process::Child>, String> {
+    if workers <= 1 {
+        return Ok(Vec::new());
+    }
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    let exe = std::env::current_exe().map_err(|e| format!("locating grade10 binary: {e}"))?;
+    let mut children = Vec::new();
+    for i in 2..=workers {
+        let log_path = std::path::Path::new(dir).join(format!("worker-{i}.log"));
+        let log = std::fs::File::create(&log_path)
+            .map_err(|e| format!("creating {}: {e}", log_path.display()))?;
+        let log_err = log
+            .try_clone()
+            .map_err(|e| format!("cloning log handle: {e}"))?;
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("campaign").arg("--join").arg(dir);
+        for key in ["--threads", "--lease-ms"] {
+            if let Some(v) = flags.get(key) {
+                cmd.arg(key).arg(v);
+            }
+        }
+        let child = cmd
+            .stdout(log)
+            .stderr(log_err)
+            .spawn()
+            .map_err(|e| format!("spawning worker {i}: {e}"))?;
+        children.push(child);
+    }
+    Ok(children)
+}
+
+/// `campaign --status DIR`: print a read-only progress summary derived
+/// purely from the journal and store. Safe while workers are live.
+fn campaign_status_cmd(dir: &str) -> Result<RunStatus, String> {
+    let st = grade10::core::campaign::campaign_status(std::path::Path::new(dir))
+        .map_err(|e| e.to_string())?;
+    println!("campaign {} in {dir}", st.campaign);
+    let mut t = grade10::core::report::Table::new(&["state", "mixes"]);
+    t.row(&["finished".to_string(), st.finished.to_string()]);
+    t.row(&["claimed".to_string(), st.claimed.to_string()]);
+    t.row(&["stale".to_string(), st.stale.to_string()]);
+    t.row(&["failed".to_string(), st.failed.to_string()]);
+    t.row(&["poisoned".to_string(), st.poisoned.to_string()]);
+    t.row(&["pending".to_string(), st.pending.to_string()]);
+    print!("{}", t.render());
+    println!(
+        "{} of {} mixes done; report {}written{}",
+        st.finished + st.failed + st.poisoned,
+        st.total,
+        if st.report_written { "" } else { "not yet " },
+        if st.quarantined_journal > 0 {
+            format!("; {} journal records quarantined", st.quarantined_journal)
+        } else {
+            String::new()
+        }
+    );
+    Ok(RunStatus::Clean)
 }
 
 /// Checks one mix's axis values against the parsers the runner will use.

@@ -14,9 +14,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 use grade10::core::campaign::{
-    run_campaign, CampaignOptions, CampaignRun, CampaignSpec, MixAttempt, MixOutcome, MixSpec,
+    campaign_status, run_campaign, CampaignOptions, CampaignRun, CampaignSpec, Journal,
+    MixAttempt, MixOutcome, MixSpec,
 };
 use grade10::core::error::Grade10Error;
+use grade10::core::supervise::IncidentKind;
 
 /// A 6-mix matrix: 3 algorithms × 2 machine counts.
 fn spec() -> CampaignSpec {
@@ -60,9 +62,11 @@ fn journal_path(o: &CampaignOptions) -> PathBuf {
 }
 
 /// One uninterrupted reference run; its report is the ground truth every
-/// chaos schedule must reproduce.
+/// chaos schedule must reproduce. Callers run concurrently, so each
+/// baseline gets its own directory.
 fn baseline() -> CampaignRun {
-    let o = opts("baseline");
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let o = opts(&format!("baseline{}", SEQ.fetch_add(1, Ordering::SeqCst)));
     let run = run_campaign(&spec(), &o, fake_runner).expect("baseline run");
     assert!(run.is_clean());
     let _ = std::fs::remove_dir_all(&o.dir);
@@ -76,7 +80,7 @@ fn chaos_resume_matrix_reproduces_the_uninterrupted_report() {
     // "all records written, report not yet" (simulated below by removing
     // the report files from a complete run — the on-disk state a SIGKILL
     // between the last fsync and the report write leaves behind).
-    for width in [1usize, 4] {
+    for width in [1usize, 2, 4] {
         for stop_after in [0usize, 2] {
             let name = format!("kill{stop_after}w{width}");
             let mut o = opts(&name);
@@ -209,6 +213,146 @@ fn bumping_the_code_version_invalidates_every_stored_outcome() {
     let second = run_campaign(&bumped, &o, fake_runner).expect("resume with bumped version");
     assert_eq!(second.executed, 6, "no stale outcome survives a version bump");
     assert_eq!(second.cached, 0);
+    let _ = std::fs::remove_dir_all(&o.dir);
+}
+
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_millis() as u64
+}
+
+/// A joiner honors a live lease held by a worker it has never heard of:
+/// it drains the rest of the matrix, waits out the stranger's lease, and
+/// only reclaims the mix once the deadline passes — then finishes the
+/// campaign to the reference report.
+#[test]
+fn joiner_waits_out_a_live_lease_then_reclaims_the_abandoned_mix() {
+    let reference = baseline();
+    let mut o = opts("ghostlease");
+    std::fs::create_dir_all(&o.dir).unwrap();
+    let mixes = spec().expand();
+    let ghost_mix = &mixes[0];
+    let ghost_hash = ghost_mix.content_hash(&spec().code_version);
+    {
+        let mut journal = Journal::create(&journal_path(&o), "chaos").expect("create");
+        // A ghost worker claimed the first mix and died without a terminal
+        // record; its lease has 600 ms left to run.
+        journal
+            .record_claimed(&ghost_mix.id(), ghost_hash, "ghost", now_ms(), now_ms() + 600)
+            .expect("ghost claim");
+    }
+    o.join = true;
+    o.poll_ms = 5;
+    o.worker = "joiner".into();
+    let t0 = std::time::Instant::now();
+    let run = run_campaign(&spec(), &o, fake_runner).expect("join over a live lease");
+    assert!(
+        t0.elapsed() >= Duration::from_millis(300),
+        "the joiner must not claim over a live lease"
+    );
+    assert!(run.is_clean());
+    assert_eq!(run.executed, 6, "the ghost's mix re-ran after its lease expired");
+    assert_eq!(run.report_text, reference.report_text);
+    assert_eq!(run.report_json, reference.report_json);
+    let _ = std::fs::remove_dir_all(&o.dir);
+}
+
+/// A leader and an in-process joiner drain one matrix cooperatively:
+/// every mix runs exactly once across the two, and both assemble the
+/// same byte-identical report as a solo run.
+#[test]
+fn leader_and_joiner_share_the_matrix_without_double_execution() {
+    let reference = baseline();
+    let mut leader_opts = opts("shared");
+    leader_opts.worker = "alpha".into();
+    leader_opts.poll_ms = 5;
+    let mut joiner_opts = CampaignOptions::new(leader_opts.dir.clone());
+    joiner_opts.retry.base = Duration::ZERO;
+    joiner_opts.join = true;
+    joiner_opts.worker = "beta".into();
+    joiner_opts.poll_ms = 5;
+
+    let slow_runner = |mix: &MixSpec, a: MixAttempt| {
+        std::thread::sleep(Duration::from_millis(15));
+        fake_runner(mix, a)
+    };
+    let (leader, joiner) = std::thread::scope(|s| {
+        let lead = s.spawn(|| run_campaign(&spec(), &leader_opts, slow_runner));
+        let join = s.spawn(|| run_campaign(&spec(), &joiner_opts, slow_runner));
+        (lead.join().unwrap(), join.join().unwrap())
+    });
+    let leader = leader.expect("leader run");
+    let joiner = joiner.expect("joiner run");
+    assert!(leader.is_clean() && joiner.is_clean());
+    assert_eq!(
+        leader.executed + joiner.executed,
+        6,
+        "every mix ran exactly once across the fleet"
+    );
+    for run in [&leader, &joiner] {
+        assert_eq!(run.report_text, reference.report_text);
+        assert_eq!(run.report_json, reference.report_json);
+    }
+    let _ = std::fs::remove_dir_all(&leader_opts.dir);
+}
+
+/// A mix that killed three consecutive claimants is quarantined as a
+/// poisoned-mix incident instead of being handed to a fourth victim, the
+/// rest of the matrix is characterized normally, and `campaign_status`
+/// accounts for it.
+#[test]
+fn a_mix_that_kills_three_claimants_is_quarantined_not_rerun() {
+    let mut o = opts("poison");
+    std::fs::create_dir_all(&o.dir).unwrap();
+    let mixes = spec().expand();
+    let victim = &mixes[0];
+    let victim_hash = victim.content_hash(&spec().code_version);
+    {
+        // Two claim-then-crash epochs, plus a claim left dangling: the
+        // resume below opens epoch four, bringing the death count to 3.
+        let mut journal = Journal::create(&journal_path(&o), "chaos").expect("create");
+        journal
+            .record_claimed(&victim.id(), victim_hash, "w1", now_ms(), now_ms() + 60_000)
+            .unwrap();
+        journal.record_launch("w2").unwrap();
+        journal
+            .record_claimed(&victim.id(), victim_hash, "w2", now_ms(), now_ms() + 60_000)
+            .unwrap();
+        journal.record_launch("w3").unwrap();
+        journal
+            .record_claimed(&victim.id(), victim_hash, "w3", now_ms(), now_ms() + 60_000)
+            .unwrap();
+    }
+    o.resume = true;
+    let run = run_campaign(&spec(), &o, |mix, a| {
+        assert_ne!(
+            mix.id(),
+            mixes[0].id(),
+            "a poisoned mix must never reach a runner again"
+        );
+        fake_runner(mix, a)
+    })
+    .expect("campaign survives a poisoned mix");
+    assert!(!run.is_clean(), "a quarantined mix makes the campaign partial");
+    assert_eq!(run.outcomes.len(), 5, "the other five mixes are characterized");
+    assert_eq!(run.incidents.len(), 1);
+    let incident = &run.incidents[0];
+    assert_eq!(incident.kind, IncidentKind::Poisoned);
+    assert_eq!(incident.attempts, 3, "the incident counts the dead claimants");
+    assert!(
+        run.report_text.contains("poisoned"),
+        "the ranked report names the quarantine:\n{}",
+        run.report_text
+    );
+
+    let status = campaign_status(&o.dir).expect("status after the run");
+    assert_eq!(status.total, 6);
+    assert_eq!(status.poisoned, 1);
+    assert_eq!(status.finished, 5);
+    assert_eq!(status.pending, 0);
+    assert!(status.report_written);
     let _ = std::fs::remove_dir_all(&o.dir);
 }
 

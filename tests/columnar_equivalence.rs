@@ -1,26 +1,37 @@
-//! Differential equivalence of the columnar and legacy attribution
-//! backends.
+//! Behavioral pin of the columnar attribution core.
 //!
-//! The columnar backend restructures the attribution core around
-//! contiguous struct-of-arrays grids, scratch-buffer reuse, and a
-//! participant-major attribution sweep. None of that may change a single
-//! bit of output: this suite drives the full 13-combination fault matrix
-//! through the *supervised* pipeline — ingest repair, per-machine
-//! isolation, estimate-missing hole filling, profile merging — under both
-//! backends at worker-pool widths 1, 2, and 8, and asserts the complete
-//! characterization (incidents, coverage, every profile float, every
-//! per-instance usage row) is identical byte for byte. Debug formatting
-//! round-trips `f64` exactly, so string equality is bit equality.
+//! The columnar core restructures attribution around contiguous
+//! struct-of-arrays grids, scratch-buffer reuse, and a participant-major
+//! attribution sweep. While the cell-major reference implementation was
+//! still selectable (`AttributionBackend::Legacy`, retired after one PR
+//! as scheduled), this suite proved both paths byte-identical over the
+//! full fault matrix. The legacy path is gone; the same dumps now pin the
+//! columnar output against **committed golden hashes**, so any bit-level
+//! drift in the attribution core — demand estimation, upsampling,
+//! attribution, merging — still fails loudly.
+//!
+//! The suite drives the 13-combination fault matrix through the
+//! *supervised* pipeline — ingest repair, per-machine isolation,
+//! estimate-missing hole filling, profile merging — at worker-pool widths
+//! 1, 2, and 8, asserting (a) the complete characterization (incidents,
+//! coverage, every profile float, every per-instance usage row) is
+//! identical across widths, and (b) its FNV-1a hash per mask matches the
+//! checked-in golden. Debug formatting round-trips `f64` exactly, so
+//! string (and hence hash) equality is bit equality.
+//!
+//! Bless with `UPDATE_GOLDENS=1 cargo test --test columnar_equivalence`.
 //!
 //! Lives in its own integration-test binary because `GRADE10_THREADS` is
 //! process-global.
 
 use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
 use std::sync::OnceLock;
 
 use grade10::cluster::{FaultClass, FaultPlan};
-use grade10::core::attribution::AttributionBackend;
 use grade10::core::config::Parallelism;
+use grade10::core::hash::fnv1a;
 use grade10::core::pipeline::CharacterizationConfig;
 use grade10::core::supervise::{characterize_events_supervised, PartialCharacterization};
 use grade10::core::trace::{IngestConfig, MILLIS};
@@ -44,11 +55,10 @@ fn tiny_run() -> &'static WorkloadRun {
     })
 }
 
-fn supervised_config(backend: AttributionBackend) -> CharacterizationConfig {
+fn supervised_config() -> CharacterizationConfig {
     let mut cfg = CharacterizationConfig::default();
     cfg.profile.slice = 10 * MILLIS;
     cfg.profile.estimate_missing = true;
-    cfg.profile.backend = backend;
     cfg.ingest = IngestConfig::lenient();
     // Force the pool on even for this 3-unit workload, so the matrix
     // genuinely exercises concurrent units at every width.
@@ -106,13 +116,40 @@ fn dump(p: &PartialCharacterization) -> String {
     s
 }
 
-/// Runs the whole fault matrix at one pool width under one backend and
-/// returns one dump per mask. The env var pins the width; the config's
-/// `threads: None` defers to it.
-fn matrix_at(threads: &str, backend: AttributionBackend) -> Vec<String> {
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+/// Diffs `actual` against the checked-in golden, or re-blesses it when
+/// `UPDATE_GOLDENS=1` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDENS").ok().as_deref() == Some("1") {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {name} ({e}); bless it with UPDATE_GOLDENS=1")
+    });
+    if expected != actual {
+        panic!(
+            "attribution output drifted from golden {name}; re-bless with \
+             UPDATE_GOLDENS=1 if intentional\n--- expected ---\n{expected}\
+             \n--- actual ---\n{actual}"
+        );
+    }
+}
+
+/// Runs the whole fault matrix at one pool width and returns one dump per
+/// mask. The env var pins the width; the config's `threads: None` defers
+/// to it.
+fn matrix_at(threads: &str) -> Vec<String> {
     std::env::set_var("GRADE10_THREADS", threads);
     let run = tiny_run();
-    let cfg = supervised_config(backend);
+    let cfg = supervised_config();
     let out = fault_masks()
         .into_iter()
         .map(|mask| {
@@ -126,7 +163,7 @@ fn matrix_at(threads: &str, backend: AttributionBackend) -> Vec<String> {
                 &monitoring,
                 &cfg,
             )
-            .unwrap_or_else(|e| panic!("mask {mask:#010b} ({backend:?}) failed: {e}"));
+            .unwrap_or_else(|e| panic!("mask {mask:#010b} failed: {e}"));
             dump(&p)
         })
         .collect();
@@ -134,66 +171,70 @@ fn matrix_at(threads: &str, backend: AttributionBackend) -> Vec<String> {
     out
 }
 
-/// The tentpole guarantee: at every pool width, the columnar backend's
-/// output over the entire fault matrix is byte-identical to the legacy
-/// backend's.
+/// One golden line per fault mask: the FNV-1a hash of the complete
+/// characterization dump. Full dumps are megabytes; the hash pins the
+/// same bits in a reviewable file.
+fn hash_lines(dumps: &[String]) -> String {
+    let mut s = String::new();
+    for (mask, d) in fault_masks().iter().zip(dumps) {
+        writeln!(s, "mask={mask:#010b} fnv1a={:016x}", fnv1a(d.as_bytes())).unwrap();
+    }
+    s
+}
+
+/// The behavioral pin: at every pool width the supervised fault matrix
+/// reproduces the committed golden hashes bit for bit, and the widths
+/// agree with each other on the full dumps (a sharper diagnostic than two
+/// differing hashes when a width-dependence sneaks in).
 #[test]
-fn columnar_equals_legacy_across_fault_matrix_and_widths() {
-    for threads in ["1", "2", "8"] {
-        let columnar = matrix_at(threads, AttributionBackend::Columnar);
-        let legacy = matrix_at(threads, AttributionBackend::Legacy);
-        assert!(
-            columnar.iter().any(|d| d.contains("incident=")),
-            "matrix produced no incidents; the fixture is too tame to prove anything"
-        );
-        for (mask, (c, l)) in fault_masks().iter().zip(columnar.iter().zip(&legacy)) {
+fn columnar_matrix_matches_goldens_across_widths() {
+    let baseline = matrix_at("1");
+    assert!(
+        baseline.iter().any(|d| d.contains("incident=")),
+        "matrix produced no incidents; the fixture is too tame to prove anything"
+    );
+    for threads in ["2", "8"] {
+        let wide = matrix_at(threads);
+        for (mask, (b, w)) in fault_masks().iter().zip(baseline.iter().zip(&wide)) {
             assert_eq!(
-                c, l,
-                "mask {mask:#010b} at width {threads}: columnar vs legacy diverged"
+                b, w,
+                "mask {mask:#010b}: width {threads} diverged from width 1"
             );
         }
     }
+    check_golden("columnar_equivalence_hashes.txt", &hash_lines(&baseline));
 }
 
-/// The unsupervised single-process pipeline must agree too — it skips the
-/// per-machine split/merge, so it exercises one big grid per backend.
+/// The unsupervised single-process pipeline is pinned too — it skips the
+/// per-machine split/merge, so it exercises one big grid end to end.
 #[test]
-fn columnar_equals_legacy_unsupervised() {
+fn columnar_unsupervised_matches_golden() {
     let run = tiny_run();
-    let dump_with = |backend| {
-        let mut cfg = CharacterizationConfig::default();
-        cfg.profile.slice = 10 * MILLIS;
-        cfg.profile.backend = backend;
-        cfg.ingest = IngestConfig::lenient();
-        let events = to_raw_events(&run.sim.logs);
-        let monitoring = to_raw_series(&run.sim.series, 8);
-        let input = grade10::core::trace::ingest(&run.model, &events, &monitoring, &cfg.ingest)
-            .expect("clean fixture ingests");
-        let result = grade10::core::pipeline::characterize_ingested(
-            &run.model,
-            &run.rules_tuned,
-            &input,
-            &cfg,
-        );
-        let p = &result.profile;
-        format!(
-            "{:?}\n{:?}\n{:?}\n{:?}\n{:?}\n{}\n{:?}",
-            p.consumption,
-            p.demand_exact,
-            p.demand_variable,
-            p.unattributed,
-            p.overflow,
-            result.base_makespan,
-            result
-                .profile
-                .usages
-                .iter()
-                .map(|u| format!("{u:?}"))
-                .collect::<Vec<_>>()
-        )
-    };
-    assert_eq!(
-        dump_with(AttributionBackend::Columnar),
-        dump_with(AttributionBackend::Legacy)
+    let mut cfg = CharacterizationConfig::default();
+    cfg.profile.slice = 10 * MILLIS;
+    cfg.ingest = IngestConfig::lenient();
+    let events = to_raw_events(&run.sim.logs);
+    let monitoring = to_raw_series(&run.sim.series, 8);
+    let input = grade10::core::trace::ingest(&run.model, &events, &monitoring, &cfg.ingest)
+        .expect("clean fixture ingests");
+    let result =
+        grade10::core::pipeline::characterize_ingested(&run.model, &run.rules_tuned, &input, &cfg);
+    let p = &result.profile;
+    let dump = format!(
+        "{:?}\n{:?}\n{:?}\n{:?}\n{:?}\n{}\n{:?}",
+        p.consumption,
+        p.demand_exact,
+        p.demand_variable,
+        p.unattributed,
+        p.overflow,
+        result.base_makespan,
+        result
+            .profile
+            .usages
+            .iter()
+            .map(|u| format!("{u:?}"))
+            .collect::<Vec<_>>()
     );
+    let line = format!("unsupervised fnv1a={:016x}\n", fnv1a(dump.as_bytes()));
+    check_golden("columnar_unsupervised_hash.txt", &line);
 }

@@ -314,15 +314,13 @@ fn golden_self_profile_live_structure() {
     check_golden("self_profile_live_structure.txt", &out);
 }
 
-/// The post-refactor self-profile stage ranking under the *columnar*
-/// backend (explicitly pinned, not just the default): same normalization
-/// as the live-structure golden, so it documents which pipeline stages the
-/// columnar kernels still report — a stage disappearing from its own
-/// profile (e.g. an obs span lost in the backend dispatch) fails here.
+/// The self-profile stage ranking under the columnar attribution core
+/// (now the only implementation — the legacy backend is retired): same
+/// normalization as the live-structure golden, so it documents which
+/// pipeline stages the columnar kernels still report — a stage
+/// disappearing from its own profile (e.g. a lost obs span) fails here.
 #[test]
 fn golden_self_profile_columnar_stage_ranking() {
-    use grade10::core::attribution::AttributionBackend;
-
     let run = demo_run();
     let mut report = IngestReport::default();
     let resources = ingest_monitoring(
@@ -333,7 +331,6 @@ fn golden_self_profile_columnar_stage_ranking() {
     .expect("clean monitoring");
     let mut cfg = demo_config(false);
     cfg.profile.parallelism = Parallelism::Never;
-    cfg.profile.backend = AttributionBackend::Columnar;
     let sc = characterize_self(&run.model, &run.rules_tuned, &run.trace, &resources, &cfg)
         .expect("self-characterization");
     let out = normalize_volatile(&self_profile_table(&sc.meta).render());
