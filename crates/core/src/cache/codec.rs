@@ -1,0 +1,855 @@
+//! Versioned binary round-trips for the pipeline's stage boundaries.
+//!
+//! Two record types cover the cacheable stage outputs:
+//!
+//! * **Ingest unit** — everything one per-machine ingest unit produces:
+//!   its coverage status, incident records, repaired event substream,
+//!   repaired monitoring series, and [`IngestReport`] counters. Events and
+//!   series reuse the binary trace format's pooled `EVENTS`/`RESOURCES`
+//!   layouts verbatim ([`crate::trace::binary`]), so the offline container
+//!   and the cache records cannot drift apart.
+//! * **Attribute unit** — one per-machine attribution result: the
+//!   [`PerformanceProfile`] fragment (grid, resources, metric matrices,
+//!   per-instance usages — every `f64` round-tripped via its exact bit
+//!   pattern), the degraded flag, and incident records.
+//!
+//! Every record body starts with a one-byte codec version; decoders accept
+//! exactly their own version and report anything else as
+//! [`Grade10Error::Serialization`], which the cache layer treats as a miss.
+//! Decoding never panics on damaged input: all sizes are re-derived from
+//! the payload via the bounds-checked [`Cursor`], and semantic range checks
+//! (unknown tags, dangling pool references, non-boolean flag bytes) fail
+//! with a classified error.
+
+use crate::attribution::profile::{InstanceUsage, PerformanceProfile};
+use crate::error::Grade10Error;
+use crate::model::rules::AttributionRule;
+use crate::parse::RawEvent;
+use crate::supervise::{Incident, IncidentKind, IncidentOutcome, UnitStatus};
+use crate::trace::binary::{
+    decode_events, decode_paths, decode_series, decode_strings, push_u32, push_u64, Cursor,
+    PoolEncoder, Section, MACHINE_NONE,
+};
+use crate::trace::execution::InstanceId;
+use crate::trace::repair::{IngestReport, RawSeries};
+use crate::trace::resource::{Measurement, ResourceIdx, ResourceInstance};
+use crate::trace::timeslice::{BoolGrid, MetricGrid, TimesliceGrid};
+
+use super::{SECTION_EVENTS, SECTION_META, SECTION_PATHS, SECTION_SERIES, SECTION_STRINGS};
+
+/// Version byte leading every record body. Bump on any layout change.
+const CODEC_VERSION: u8 = 1;
+
+fn corrupt(msg: impl Into<String>) -> Grade10Error {
+    Grade10Error::Serialization(format!("stage-cache record: {}", msg.into()))
+}
+
+/// Incident stages are `&'static str` in [`Incident`]; decoding maps the
+/// stored name back onto the one static instance per stage. An unknown
+/// stage name means the record was written by a different build — a miss.
+const STAGES: &[&str] = &[
+    "ingest",
+    "attribute",
+    "bottleneck",
+    "replay",
+    "issues",
+    "campaign",
+];
+
+fn static_stage(name: &str) -> Result<&'static str, Grade10Error> {
+    STAGES
+        .iter()
+        .find(|s| **s == name)
+        .copied()
+        .ok_or_else(|| corrupt(format!("unknown incident stage {name:?}")))
+}
+
+fn push_str(buf: &mut Vec<u8>, s: &str) {
+    push_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(c: &mut Cursor<'_>) -> Result<String, Grade10Error> {
+    let len = c.u32()? as usize;
+    let bytes = c.take(len)?;
+    std::str::from_utf8(bytes)
+        .map(str::to_string)
+        .map_err(|_| corrupt("string is not valid UTF-8"))
+}
+
+fn section<'a>(
+    sections: &[Section<'a>],
+    id: u32,
+    what: &str,
+) -> Result<&'a [u8], Grade10Error> {
+    sections
+        .iter()
+        .find(|s| s.id == id)
+        .map(|s| s.payload)
+        .ok_or_else(|| corrupt(format!("missing {what} section")))
+}
+
+// ---------------------------------------------------------------------------
+// Incidents
+// ---------------------------------------------------------------------------
+
+fn encode_incidents(buf: &mut Vec<u8>, incidents: &[Incident]) {
+    push_u32(buf, incidents.len() as u32);
+    for inc in incidents {
+        push_str(buf, inc.stage);
+        push_str(buf, &inc.unit);
+        push_str(buf, inc.kind.name());
+        push_str(buf, &inc.detail);
+        push_u32(buf, inc.attempts);
+        match &inc.outcome {
+            IncidentOutcome::Dropped => buf.push(0),
+            IncidentOutcome::Recovered { degradation } => {
+                buf.push(1);
+                push_str(buf, degradation);
+            }
+        }
+    }
+}
+
+fn decode_incidents(c: &mut Cursor<'_>) -> Result<Vec<Incident>, Grade10Error> {
+    let count = c.u32()? as usize;
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let stage = static_stage(&read_str(c)?)?;
+        let unit = read_str(c)?;
+        let kind_name = read_str(c)?;
+        let kind = IncidentKind::from_name(&kind_name)
+            .ok_or_else(|| corrupt(format!("unknown incident kind {kind_name:?}")))?;
+        let detail = read_str(c)?;
+        let attempts = c.u32()?;
+        let outcome = match c.u8()? {
+            0 => IncidentOutcome::Dropped,
+            1 => IncidentOutcome::Recovered {
+                degradation: read_str(c)?,
+            },
+            t => return Err(corrupt(format!("unknown incident outcome tag {t}"))),
+        };
+        out.push(Incident {
+            stage,
+            unit,
+            kind,
+            detail,
+            attempts,
+            outcome,
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// IngestReport
+// ---------------------------------------------------------------------------
+
+/// The report's counters in declared field order. A fixed-order list (not
+/// struct serialization) keeps the layout explicit and versioned: adding a
+/// field to [`IngestReport`] forces a conscious [`CODEC_VERSION`] bump here.
+fn report_fields(r: &IngestReport) -> [usize; 16] {
+    [
+        r.events_total,
+        r.out_of_order_fixed,
+        r.duplicates_dropped,
+        r.duplicate_starts_dropped,
+        r.missing_ends_synthesized,
+        r.unmatched_ends_dropped,
+        r.negative_durations_clamped,
+        r.ancestors_synthesized,
+        r.monitoring_windows_total,
+        r.monitoring_invalid,
+        r.monitoring_negatives_clamped,
+        r.monitoring_out_of_order,
+        r.monitoring_quarantined,
+        r.monitoring_gaps_interpolated,
+        r.slices_estimated,
+        r.slices_total,
+    ]
+}
+
+fn encode_report(buf: &mut Vec<u8>, r: &IngestReport) {
+    for v in report_fields(r) {
+        push_u64(buf, v as u64);
+    }
+}
+
+fn decode_report(c: &mut Cursor<'_>) -> Result<IngestReport, Grade10Error> {
+    let mut vals = [0usize; 16];
+    for v in &mut vals {
+        *v = usize::try_from(c.u64()?)
+            .map_err(|_| corrupt("ingest report counter out of range"))?;
+    }
+    let [events_total, out_of_order_fixed, duplicates_dropped, duplicate_starts_dropped, missing_ends_synthesized, unmatched_ends_dropped, negative_durations_clamped, ancestors_synthesized, monitoring_windows_total, monitoring_invalid, monitoring_negatives_clamped, monitoring_out_of_order, monitoring_quarantined, monitoring_gaps_interpolated, slices_estimated, slices_total] =
+        vals;
+    Ok(IngestReport {
+        events_total,
+        out_of_order_fixed,
+        duplicates_dropped,
+        duplicate_starts_dropped,
+        missing_ends_synthesized,
+        unmatched_ends_dropped,
+        negative_durations_clamped,
+        ancestors_synthesized,
+        monitoring_windows_total,
+        monitoring_invalid,
+        monitoring_negatives_clamped,
+        monitoring_out_of_order,
+        monitoring_quarantined,
+        monitoring_gaps_interpolated,
+        slices_estimated,
+        slices_total,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Ingest unit records
+// ---------------------------------------------------------------------------
+
+/// A decoded per-unit ingest record. The plain (unsupervised) pipeline
+/// stores whole-stream ingest results through the same record with
+/// [`UnitStatus::Full`] and no incidents.
+pub(crate) struct IngestUnitRecord {
+    pub(crate) status: UnitStatus,
+    pub(crate) incidents: Vec<Incident>,
+    pub(crate) events: Vec<RawEvent>,
+    pub(crate) series: Vec<RawSeries>,
+    pub(crate) report: IngestReport,
+}
+
+/// Encodes one ingest unit's outputs into cache-record sections.
+pub(crate) fn encode_ingest_unit(
+    status: UnitStatus,
+    incidents: &[Incident],
+    events: &[RawEvent],
+    series: &[RawSeries],
+    report: &IngestReport,
+) -> Vec<(u32, Vec<u8>)> {
+    let mut enc = PoolEncoder::default();
+    let events_payload = enc.encode_events(events);
+    let series_refs: Vec<(&ResourceInstance, &[Measurement])> = series
+        .iter()
+        .map(|s| (&s.instance, s.measurements.as_slice()))
+        .collect();
+    let series_payload = enc.encode_series(series_refs.into_iter());
+    let mut meta = Vec::new();
+    meta.push(CODEC_VERSION);
+    meta.push(match status {
+        UnitStatus::Full => 0,
+        UnitStatus::Degraded => 1,
+        UnitStatus::Dropped => 2,
+    });
+    encode_incidents(&mut meta, incidents);
+    encode_report(&mut meta, report);
+    vec![
+        (SECTION_META, meta),
+        (SECTION_STRINGS, enc.strings_payload()),
+        (SECTION_PATHS, enc.paths_payload()),
+        (SECTION_EVENTS, events_payload),
+        (SECTION_SERIES, series_payload),
+    ]
+}
+
+/// Decodes an ingest unit record from verified cache sections.
+pub(crate) fn decode_ingest_unit(
+    sections: &[Section<'_>],
+) -> Result<IngestUnitRecord, Grade10Error> {
+    let strings = decode_strings(section(sections, SECTION_STRINGS, "strings")?)?;
+    let paths = decode_paths(section(sections, SECTION_PATHS, "paths")?, &strings)?;
+    let events = decode_events(section(sections, SECTION_EVENTS, "events")?, &strings, &paths)?;
+    let series = decode_series(section(sections, SECTION_SERIES, "series")?, &strings)?;
+    let mut c = Cursor::new(section(sections, SECTION_META, "meta")?, "stage-cache meta");
+    let ver = c.u8()?;
+    if ver != CODEC_VERSION {
+        return Err(corrupt(format!(
+            "codec version {ver} (this build reads {CODEC_VERSION})"
+        )));
+    }
+    let status = match c.u8()? {
+        0 => UnitStatus::Full,
+        1 => UnitStatus::Degraded,
+        2 => UnitStatus::Dropped,
+        t => return Err(corrupt(format!("unknown unit status tag {t}"))),
+    };
+    let incidents = decode_incidents(&mut c)?;
+    let report = decode_report(&mut c)?;
+    c.finish()?;
+    Ok(IngestUnitRecord {
+        status,
+        incidents,
+        events,
+        series,
+        report,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Profile fragments / attribute unit records
+// ---------------------------------------------------------------------------
+
+fn encode_metric_grid(buf: &mut Vec<u8>, g: &MetricGrid) {
+    push_u32(buf, g.num_rows() as u32);
+    push_u32(buf, g.num_slices() as u32);
+    for &v in g.as_flat() {
+        push_u64(buf, v.to_bits());
+    }
+}
+
+fn decode_metric_grid(c: &mut Cursor<'_>) -> Result<MetricGrid, Grade10Error> {
+    let rows = c.u32()? as usize;
+    let ns = c.u32()? as usize;
+    if rows > 0 && ns == 0 {
+        return Err(corrupt("metric grid with rows but no slices"));
+    }
+    let mut data = Vec::new();
+    for _ in 0..rows.saturating_mul(ns) {
+        data.push(f64::from_bits(c.u64()?));
+    }
+    Ok(MetricGrid::from_flat(data, ns))
+}
+
+fn encode_bool_grid(buf: &mut Vec<u8>, g: &BoolGrid) {
+    push_u32(buf, g.num_rows() as u32);
+    push_u32(buf, g.num_slices() as u32);
+    buf.extend(g.as_flat().iter().map(|&b| b as u8));
+}
+
+fn decode_bool_grid(c: &mut Cursor<'_>) -> Result<BoolGrid, Grade10Error> {
+    let rows = c.u32()? as usize;
+    let ns = c.u32()? as usize;
+    if rows > 0 && ns == 0 {
+        return Err(corrupt("flag grid with rows but no slices"));
+    }
+    let bytes = c.take(rows.saturating_mul(ns))?;
+    let mut data = Vec::with_capacity(bytes.len());
+    for &b in bytes {
+        data.push(match b {
+            0 => false,
+            1 => true,
+            _ => return Err(corrupt(format!("non-boolean flag byte {b}"))),
+        });
+    }
+    Ok(BoolGrid::from_flat(data, ns))
+}
+
+fn encode_f64s(buf: &mut Vec<u8>, vals: &[f64]) {
+    push_u32(buf, vals.len() as u32);
+    for &v in vals {
+        push_u64(buf, v.to_bits());
+    }
+}
+
+fn decode_f64s(c: &mut Cursor<'_>) -> Result<Vec<f64>, Grade10Error> {
+    let count = c.u32()? as usize;
+    let mut out = Vec::new();
+    for _ in 0..count {
+        out.push(f64::from_bits(c.u64()?));
+    }
+    Ok(out)
+}
+
+fn encode_profile(buf: &mut Vec<u8>, p: &PerformanceProfile) {
+    push_u64(buf, p.grid.origin());
+    push_u64(buf, p.grid.slice_nanos());
+    push_u64(buf, p.grid.num_slices() as u64);
+    push_u32(buf, p.resources.len() as u32);
+    for r in &p.resources {
+        push_str(buf, &r.kind);
+        push_u32(buf, r.machine.map_or(MACHINE_NONE, |m| m as u32));
+        push_u64(buf, r.capacity.to_bits());
+    }
+    encode_metric_grid(buf, &p.consumption);
+    encode_metric_grid(buf, &p.demand_exact);
+    encode_metric_grid(buf, &p.demand_variable);
+    encode_metric_grid(buf, &p.unattributed);
+    encode_f64s(buf, &p.overflow);
+    encode_bool_grid(buf, &p.estimated);
+    push_u32(buf, p.usages.len() as u32);
+    for u in &p.usages {
+        push_u32(buf, u.instance.0);
+        push_u32(buf, u.resource.0);
+        match u.rule {
+            AttributionRule::None => buf.push(0),
+            AttributionRule::Exact(v) => {
+                buf.push(1);
+                push_u64(buf, v.to_bits());
+            }
+            AttributionRule::Variable(v) => {
+                buf.push(2);
+                push_u64(buf, v.to_bits());
+            }
+        }
+        push_u64(buf, u.first_slice as u64);
+        encode_f64s(buf, &u.demand);
+        encode_f64s(buf, &u.usage);
+    }
+}
+
+fn decode_profile(c: &mut Cursor<'_>) -> Result<PerformanceProfile, Grade10Error> {
+    let origin = c.u64()?;
+    let slice = c.u64()?;
+    let num_slices = c.u64()?;
+    if slice == 0 || num_slices == 0 {
+        return Err(corrupt("degenerate timeslice grid"));
+    }
+    let end = slice
+        .checked_mul(num_slices)
+        .and_then(|span| origin.checked_add(span))
+        .ok_or_else(|| corrupt("timeslice grid extent overflows"))?;
+    let grid = TimesliceGrid::covering(origin, end, slice);
+    let rcount = c.u32()? as usize;
+    let mut resources = Vec::new();
+    for i in 0..rcount {
+        let kind = read_str(c)?;
+        let machine_raw = c.u32()?;
+        let capacity = f64::from_bits(c.u64()?);
+        let machine = if machine_raw == MACHINE_NONE {
+            None
+        } else {
+            u16::try_from(machine_raw)
+                .map(Some)
+                .map_err(|_| corrupt(format!("resource {i} has machine {machine_raw} out of range")))?
+        };
+        resources.push(ResourceInstance {
+            kind,
+            machine,
+            capacity,
+        });
+    }
+    let consumption = decode_metric_grid(c)?;
+    let demand_exact = decode_metric_grid(c)?;
+    let demand_variable = decode_metric_grid(c)?;
+    let unattributed = decode_metric_grid(c)?;
+    let overflow = decode_f64s(c)?;
+    let estimated = decode_bool_grid(c)?;
+    let ucount = c.u32()? as usize;
+    let mut usages = Vec::new();
+    for _ in 0..ucount {
+        let instance = InstanceId(c.u32()?);
+        let resource = ResourceIdx(c.u32()?);
+        let rule = match c.u8()? {
+            0 => AttributionRule::None,
+            1 => AttributionRule::Exact(f64::from_bits(c.u64()?)),
+            2 => AttributionRule::Variable(f64::from_bits(c.u64()?)),
+            t => return Err(corrupt(format!("unknown attribution rule tag {t}"))),
+        };
+        let first_slice = usize::try_from(c.u64()?)
+            .map_err(|_| corrupt("usage first_slice out of range"))?;
+        let demand = decode_f64s(c)?;
+        let usage = decode_f64s(c)?;
+        usages.push(InstanceUsage {
+            instance,
+            resource,
+            rule,
+            first_slice,
+            demand,
+            usage,
+        });
+    }
+    Ok(PerformanceProfile::from_parts(
+        grid,
+        resources,
+        consumption,
+        demand_exact,
+        demand_variable,
+        unattributed,
+        overflow,
+        estimated,
+        usages,
+    ))
+}
+
+/// A decoded per-unit attribution record. The plain pipeline stores its
+/// whole-profile result through the same record with `degraded: false` and
+/// no incidents.
+pub(crate) struct AttributeUnitRecord {
+    pub(crate) profile: Option<PerformanceProfile>,
+    pub(crate) degraded: bool,
+    pub(crate) incidents: Vec<Incident>,
+}
+
+/// Encodes one attribution unit's outputs into cache-record sections.
+pub(crate) fn encode_attribute_unit(
+    profile: Option<&PerformanceProfile>,
+    degraded: bool,
+    incidents: &[Incident],
+) -> Vec<(u32, Vec<u8>)> {
+    let mut meta = Vec::new();
+    meta.push(CODEC_VERSION);
+    meta.push(degraded as u8);
+    encode_incidents(&mut meta, incidents);
+    match profile {
+        None => meta.push(0),
+        Some(p) => {
+            meta.push(1);
+            encode_profile(&mut meta, p);
+        }
+    }
+    vec![(SECTION_META, meta)]
+}
+
+/// Decodes an attribution unit record from verified cache sections.
+pub(crate) fn decode_attribute_unit(
+    sections: &[Section<'_>],
+) -> Result<AttributeUnitRecord, Grade10Error> {
+    let mut c = Cursor::new(section(sections, SECTION_META, "meta")?, "stage-cache meta");
+    let ver = c.u8()?;
+    if ver != CODEC_VERSION {
+        return Err(corrupt(format!(
+            "codec version {ver} (this build reads {CODEC_VERSION})"
+        )));
+    }
+    let degraded = match c.u8()? {
+        0 => false,
+        1 => true,
+        t => return Err(corrupt(format!("non-boolean degraded byte {t}"))),
+    };
+    let incidents = decode_incidents(&mut c)?;
+    let profile = match c.u8()? {
+        0 => None,
+        1 => Some(decode_profile(&mut c)?),
+        t => return Err(corrupt(format!("unknown profile tag {t}"))),
+    };
+    c.finish()?;
+    Ok(AttributeUnitRecord {
+        profile,
+        degraded,
+        incidents,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::RawEventKind;
+    use crate::trace::binary::parse_container;
+    use crate::trace::timeslice::MILLIS;
+
+    /// Deterministic xorshift generator: the repo's proptest idiom — no
+    /// external crates, no OS entropy, failures reproduce from the seed.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n.max(1)
+        }
+
+        fn f64(&mut self) -> f64 {
+            // Finite, sign-varied, wide-exponent values; NaN excluded so
+            // PartialEq comparison stays meaningful (bit-exactness for NaN
+            // is covered by the fixed-vector test below).
+            let m = (self.next() >> 12) as f64 / (1u64 << 52) as f64;
+            let scale = [1e-9, 1.0, 1e3, 1e12][self.below(4) as usize];
+            let sign = if self.below(2) == 0 { 1.0 } else { -1.0 };
+            sign * m * scale
+        }
+
+        fn string(&mut self) -> String {
+            let names = ["cpu", "net", "disk", "compute", "barrier", "über-α"];
+            names[self.below(names.len() as u64) as usize].to_string()
+        }
+    }
+
+    fn rand_events(rng: &mut Rng) -> Vec<RawEvent> {
+        (0..rng.below(40))
+            .map(|_| {
+                let kind = match rng.below(4) {
+                    0 => RawEventKind::PhaseStart {
+                        path: vec![(rng.string(), rng.below(8) as u32)],
+                    },
+                    1 => RawEventKind::PhaseEnd {
+                        path: vec![
+                            (rng.string(), rng.below(8) as u32),
+                            (rng.string(), rng.below(8) as u32),
+                        ],
+                    },
+                    2 => RawEventKind::BlockStart {
+                        resource: rng.string(),
+                    },
+                    _ => RawEventKind::BlockEnd {
+                        resource: rng.string(),
+                    },
+                };
+                RawEvent {
+                    time: rng.below(1 << 40),
+                    machine: rng.below(8) as u16,
+                    thread: rng.below(4) as u16,
+                    kind,
+                }
+            })
+            .collect()
+    }
+
+    fn rand_series(rng: &mut Rng) -> Vec<RawSeries> {
+        (0..rng.below(6))
+            .map(|_| RawSeries {
+                instance: ResourceInstance {
+                    kind: rng.string(),
+                    machine: if rng.below(3) == 0 {
+                        None
+                    } else {
+                        Some(rng.below(8) as u16)
+                    },
+                    capacity: rng.f64().abs() + 0.5,
+                },
+                measurements: (0..rng.below(20))
+                    .map(|_| Measurement {
+                        start: rng.below(1 << 40),
+                        end: rng.below(1 << 40),
+                        avg: rng.f64(),
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    fn rand_incidents(rng: &mut Rng) -> Vec<Incident> {
+        (0..rng.below(4))
+            .map(|_| Incident {
+                stage: STAGES[rng.below(STAGES.len() as u64) as usize],
+                unit: format!("machine {}", rng.below(8)),
+                kind: [
+                    IncidentKind::Panic,
+                    IncidentKind::Deadline,
+                    IncidentKind::Budget,
+                    IncidentKind::MissingData,
+                    IncidentKind::Quarantine,
+                    IncidentKind::Error,
+                ][rng.below(6) as usize],
+                detail: format!("detail {}", rng.next()),
+                attempts: rng.below(5) as u32,
+                outcome: if rng.below(2) == 0 {
+                    IncidentOutcome::Dropped
+                } else {
+                    IncidentOutcome::Recovered {
+                        degradation: rng.string(),
+                    }
+                },
+            })
+            .collect()
+    }
+
+    fn rand_report(rng: &mut Rng) -> IngestReport {
+        IngestReport {
+            events_total: rng.below(1000) as usize,
+            monitoring_windows_total: rng.below(1000) as usize,
+            duplicates_dropped: rng.below(10) as usize,
+            monitoring_quarantined: rng.below(10) as usize,
+            slices_total: rng.below(100_000) as usize,
+            ..IngestReport::default()
+        }
+    }
+
+    fn rand_profile(rng: &mut Rng) -> PerformanceProfile {
+        let ns = 1 + rng.below(12) as usize;
+        let rows = rng.below(4) as usize;
+        let grid = |rng: &mut Rng| {
+            MetricGrid::from_flat((0..rows * ns).map(|_| rng.f64()).collect(), ns)
+        };
+        let consumption = grid(rng);
+        let demand_exact = grid(rng);
+        let demand_variable = grid(rng);
+        let unattributed = grid(rng);
+        let estimated =
+            BoolGrid::from_flat((0..rows * ns).map(|_| rng.below(2) == 1).collect(), ns);
+        let usages = (0..rng.below(5))
+            .map(|_| {
+                let len = rng.below(ns as u64) as usize;
+                InstanceUsage {
+                    instance: InstanceId(rng.below(100) as u32),
+                    resource: ResourceIdx(rng.below(rows.max(1) as u64) as u32),
+                    rule: match rng.below(3) {
+                        0 => AttributionRule::None,
+                        1 => AttributionRule::Exact(rng.f64()),
+                        _ => AttributionRule::Variable(rng.f64()),
+                    },
+                    first_slice: rng.below((ns - len).max(1) as u64) as usize,
+                    demand: (0..len).map(|_| rng.f64()).collect(),
+                    usage: (0..len).map(|_| rng.f64()).collect(),
+                }
+            })
+            .collect();
+        PerformanceProfile::from_parts(
+            TimesliceGrid::covering(0, ns as u64 * 10 * MILLIS, 10 * MILLIS),
+            (0..rows)
+                .map(|i| ResourceInstance {
+                    kind: rng.string(),
+                    machine: Some(i as u16),
+                    capacity: rng.f64().abs() + 1.0,
+                })
+                .collect(),
+            consumption,
+            demand_exact,
+            demand_variable,
+            unattributed,
+            (0..rows).map(|_| rng.f64()).collect(),
+            estimated,
+            usages,
+        )
+    }
+
+    fn container_roundtrip<T>(
+        sections: Vec<(u32, Vec<u8>)>,
+        decode: impl FnOnce(&[Section<'_>]) -> Result<T, Grade10Error>,
+    ) -> T {
+        let bytes = crate::trace::binary::build_container(
+            &crate::cache::CACHE_MAGIC,
+            crate::cache::CACHE_FORMAT_VERSION,
+            &sections,
+        );
+        let parsed = parse_container(&bytes, &crate::cache::CACHE_CONTAINER).unwrap();
+        decode(&parsed).unwrap()
+    }
+
+    #[test]
+    fn ingest_unit_roundtrips_over_random_inputs() {
+        let mut rng = Rng(0x9e3779b97f4a7c15);
+        for _ in 0..64 {
+            let status = [UnitStatus::Full, UnitStatus::Degraded, UnitStatus::Dropped]
+                [rng.below(3) as usize];
+            let incidents = rand_incidents(&mut rng);
+            let events = rand_events(&mut rng);
+            let series = rand_series(&mut rng);
+            let report = rand_report(&mut rng);
+            let rec = container_roundtrip(
+                encode_ingest_unit(status, &incidents, &events, &series, &report),
+                decode_ingest_unit,
+            );
+            assert_eq!(rec.status, status);
+            assert_eq!(rec.incidents, incidents);
+            assert_eq!(rec.events, events);
+            assert_eq!(rec.series, series);
+            assert_eq!(rec.report, report);
+        }
+    }
+
+    #[test]
+    fn attribute_unit_roundtrips_over_random_profiles() {
+        let mut rng = Rng(0xdeadbeefcafef00d);
+        for _ in 0..64 {
+            let profile = if rng.below(8) == 0 {
+                None
+            } else {
+                Some(rand_profile(&mut rng))
+            };
+            let degraded = rng.below(2) == 1;
+            let incidents = rand_incidents(&mut rng);
+            let rec = container_roundtrip(
+                encode_attribute_unit(profile.as_ref(), degraded, &incidents),
+                decode_attribute_unit,
+            );
+            assert_eq!(rec.degraded, degraded);
+            assert_eq!(rec.incidents, incidents);
+            match (&rec.profile, &profile) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.grid, b.grid);
+                    assert_eq!(a.resources, b.resources);
+                    assert_eq!(a.consumption, b.consumption);
+                    assert_eq!(a.demand_exact, b.demand_exact);
+                    assert_eq!(a.demand_variable, b.demand_variable);
+                    assert_eq!(a.unattributed, b.unattributed);
+                    assert_eq!(a.overflow, b.overflow);
+                    assert_eq!(a.estimated, b.estimated);
+                    assert_eq!(a.usages.len(), b.usages.len());
+                    for (x, y) in a.usages.iter().zip(&b.usages) {
+                        assert_eq!(x.instance, y.instance);
+                        assert_eq!(x.resource, y.resource);
+                        assert_eq!(x.rule, y.rule);
+                        assert_eq!(x.first_slice, y.first_slice);
+                        assert_eq!(x.demand, y.demand);
+                        assert_eq!(x.usage, y.usage);
+                    }
+                    // The rebuilt index answers lookups identically.
+                    for u in &b.usages {
+                        assert!(a.usage_of(u.instance, u.resource).is_some());
+                    }
+                }
+                _ => panic!("profile presence did not round-trip"),
+            }
+        }
+    }
+
+    #[test]
+    fn special_float_values_roundtrip_bit_exactly() {
+        let specials = [0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::NAN, 1e-308];
+        let series = vec![RawSeries {
+            instance: ResourceInstance {
+                kind: "cpu".into(),
+                machine: Some(0),
+                capacity: 4.0,
+            },
+            measurements: specials
+                .iter()
+                .map(|&avg| Measurement {
+                    start: 0,
+                    end: 1,
+                    avg,
+                })
+                .collect(),
+        }];
+        let rec = container_roundtrip(
+            encode_ingest_unit(
+                UnitStatus::Full,
+                &[],
+                &[],
+                &series,
+                &IngestReport::default(),
+            ),
+            decode_ingest_unit,
+        );
+        for (got, want) in rec.series[0].measurements.iter().zip(&specials) {
+            assert_eq!(got.avg.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_meta_is_rejected_not_panicking() {
+        let mut rng = Rng(7);
+        let sections = encode_attribute_unit(Some(&rand_profile(&mut rng)), false, &[]);
+        let meta = &sections[0].1;
+        for len in 0..meta.len() {
+            let truncated = [(SECTION_META, meta[..len].to_vec())];
+            let bytes = crate::trace::binary::build_container(
+                &crate::cache::CACHE_MAGIC,
+                crate::cache::CACHE_FORMAT_VERSION,
+                &truncated,
+            );
+            // Either layer may reject — the empty section at the container
+            // level, everything else in the codec — but damage never decodes.
+            let decoded = parse_container(&bytes, &crate::cache::CACHE_CONTAINER)
+                .and_then(|parsed| decode_attribute_unit(&parsed).map(drop));
+            assert!(decoded.is_err(), "truncated meta at {len} must fail to decode");
+        }
+    }
+
+    #[test]
+    fn future_codec_version_is_rejected() {
+        let sections = encode_ingest_unit(
+            UnitStatus::Full,
+            &[],
+            &[],
+            &[],
+            &IngestReport::default(),
+        );
+        let mut bumped = sections.clone();
+        bumped[0].1[0] = CODEC_VERSION + 1;
+        let bytes = crate::trace::binary::build_container(
+            &crate::cache::CACHE_MAGIC,
+            crate::cache::CACHE_FORMAT_VERSION,
+            &bumped,
+        );
+        let parsed = parse_container(&bytes, &crate::cache::CACHE_CONTAINER).unwrap();
+        assert!(decode_ingest_unit(&parsed).is_err());
+    }
+}

@@ -46,4 +46,5 @@ pub use scheduler::{
     CampaignStatus, MixAttempt, MixMode,
 };
 pub use spec::{CampaignSpec, MixSpec, CODE_VERSION};
+pub(crate) use store::quarantine;
 pub use store::{atomic_write, MixOutcome, Store};

@@ -211,6 +211,26 @@ fn now_ms() -> u64 {
 struct JState {
     journal: Journal,
     replay: JournalReplay,
+    /// First local sighting of each mix's current lease, keyed by content
+    /// hash — the monotonic anchor for expiry arbitration (see
+    /// [`claim_next`]). A renewal (worker or deadline change) replaces the
+    /// entry, restarting the locally-measured countdown.
+    observed: BTreeMap<u64, ObservedLease>,
+}
+
+/// One lease state as first seen by *this* process, with its expiry
+/// re-anchored to the local monotonic clock. Lease deadlines in the
+/// journal are absolute wall-clock milliseconds stamped by the claimant;
+/// comparing them directly against our own `SystemTime::now()` lets a
+/// worker whose clock runs ahead (or a claimant whose clock runs behind)
+/// declare a live peer dead and double-run its mix. So wall expiry alone
+/// never revokes a lease: we also require the lease to have stayed
+/// unrenewed for its full locally-measured remaining lifetime plus a skew
+/// tolerance of at least a third of the lease (one heartbeat interval).
+struct ObservedLease {
+    worker: String,
+    deadline_ms: u64,
+    expires_at: Instant,
 }
 
 /// Everything the claimant threads share.
@@ -294,7 +314,7 @@ where
         // unloadable is reopened so the mix recomputes.
         let mut cached = 0;
         for (mix, hash) in &items {
-            if store.load(*hash).is_some() {
+            if store.load(*hash, mix).is_some() {
                 cached += 1;
                 if !r.finished.contains(hash) {
                     j.record_skipped(&mix.id(), *hash)?;
@@ -333,7 +353,11 @@ where
         items: &items,
         store: &store,
         journal_path: &journal_path,
-        state: Mutex::new(JState { journal, replay }),
+        state: Mutex::new(JState {
+            journal,
+            replay,
+            observed: BTreeMap::new(),
+        }),
         interrupted: AtomicBool::new(false),
         claims_made: AtomicUsize::new(0),
         executed: AtomicUsize::new(0),
@@ -375,7 +399,7 @@ where
             run.incidents.push(poisoned_incident(mix, n));
         } else if let Some(f) = st.replay.failed.get(hash) {
             run.incidents.push(failed_incident(mix, f));
-        } else if let Some(out) = store.load(*hash).or_else(|| local.get(hash).cloned()) {
+        } else if let Some(out) = store.load(*hash, mix).or_else(|| local.get(hash).cloned()) {
             run.outcomes.push(out);
         }
     }
@@ -456,22 +480,62 @@ where
 /// journal file order).
 fn claim_next(shared: &Shared<'_>, me: &str) -> Result<Pick, Grade10Error> {
     let mut st = lock(&shared.state);
-    let JState { journal, replay } = &mut *st;
+    let JState {
+        journal,
+        replay,
+        observed,
+    } = &mut *st;
     Journal::refresh(shared.journal_path, replay)?;
     let now = now_ms();
+    // Skew tolerance: how long past a lease's locally-measured lifetime we
+    // keep honoring it. At least a third of the lease, so a live holder
+    // (heartbeating at lease/3) always renews within the tolerance window
+    // no matter how skewed the wall clocks are.
+    let tol = Duration::from_millis(shared.opts.lease_ms.div_ceil(3).max(1));
     let mut all_terminal = true;
     let mut candidate: Option<(usize, u32)> = None;
     for (i, (_, hash)) in shared.items.iter().enumerate() {
         if replay.terminal(*hash) {
+            observed.remove(hash);
             continue;
         }
         all_terminal = false;
         // A live, unexpired lease belongs to someone; an expired one
-        // means its holder is presumed dead and counts toward poison.
+        // means its holder is presumed dead and counts toward poison. The
+        // deadline in the journal is the *claimant's* wall clock, so wall
+        // expiry alone is not trusted: the lease must also have sat
+        // unrenewed for its remaining lifetime plus `tol`, measured on
+        // our own monotonic clock from when we first saw this exact
+        // (worker, deadline) state.
         let expired = match replay.claims.get(hash) {
-            Some(c) if now <= c.deadline_ms => continue,
-            Some(_) => 1,
-            None => 0,
+            Some(c) => {
+                let fresh = observed
+                    .get(hash)
+                    .is_none_or(|o| o.worker != c.worker || o.deadline_ms != c.deadline_ms);
+                if fresh {
+                    let remaining = Duration::from_millis(c.deadline_ms.saturating_sub(now));
+                    observed.insert(
+                        *hash,
+                        ObservedLease {
+                            worker: c.worker.clone(),
+                            deadline_ms: c.deadline_ms,
+                            expires_at: Instant::now() + remaining + tol,
+                        },
+                    );
+                }
+                let wall_expired = now > c.deadline_ms;
+                let locally_expired = observed
+                    .get(hash)
+                    .is_some_and(|o| Instant::now() >= o.expires_at);
+                if !(wall_expired && locally_expired) {
+                    continue;
+                }
+                1
+            }
+            None => {
+                observed.remove(hash);
+                0
+            }
         };
         let abandoned = replay.abandoned.get(hash).copied().unwrap_or(0);
         candidate = Some((i, abandoned + expired));
@@ -485,7 +549,7 @@ fn claim_next(shared: &Shared<'_>, me: &str) -> Result<Pick, Grade10Error> {
     };
     let (mix, hash) = &shared.items[idx];
     let id = mix.id();
-    if shared.store.load(*hash).is_some() {
+    if shared.store.load(*hash, mix).is_some() {
         // The store already holds this outcome (its journal record was
         // damaged, or a peer's resume landed it); mark and move on.
         journal.record_skipped(&id, *hash)?;
@@ -712,7 +776,7 @@ pub fn campaign_status(dir: &Path) -> Result<CampaignStatus, Grade10Error> {
             status.poisoned += 1;
         } else if replay.failed.contains_key(&hash) {
             status.failed += 1;
-        } else if replay.finished.contains(&hash) || store.load(hash).is_some() {
+        } else if replay.finished.contains(&hash) || store.load(hash, &mix).is_some() {
             status.finished += 1;
         } else {
             match replay.claims.get(&hash) {

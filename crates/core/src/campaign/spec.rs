@@ -18,7 +18,13 @@ use crate::hash::fnv1a;
 /// Code-version tag mixed into every content hash. Bump when the
 /// characterization pipeline changes in a way that invalidates stored
 /// mix outcomes; every mix then re-runs on the next `--resume`.
-pub const CODE_VERSION: &str = "g10c-1";
+///
+/// `g10c-2`: retroactive bump for the PR 8 retirement of the legacy
+/// attribution backend (whose outputs `g10c-1` stores may still embed),
+/// plus the introduction of the stage cache, whose record keys also embed
+/// this tag. `tests/columnar_equivalence.rs` ties the tag to the committed
+/// golden hashes: changing attribution output without bumping fails CI.
+pub const CODE_VERSION: &str = "g10c-2";
 
 /// One point in the campaign matrix: a workload × dataset × engine ×
 /// partitioning × seed × fault-plan combination.
@@ -370,7 +376,7 @@ mod tests {
         let h = mixes[0].content_hash(CODE_VERSION);
         assert_eq!(h, mixes[0].content_hash(CODE_VERSION), "deterministic");
         assert_ne!(h, mixes[1].content_hash(CODE_VERSION), "axis-sensitive");
-        assert_ne!(h, mixes[0].content_hash("g10c-2"), "version-sensitive");
+        assert_ne!(h, mixes[0].content_hash("g10c-3"), "version-sensitive");
     }
 
     #[test]

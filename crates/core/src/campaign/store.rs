@@ -110,11 +110,18 @@ impl Store {
     /// but does not parse — or parses to an outcome claiming a different
     /// hash — is quarantined and reported as a miss, so the mix simply
     /// re-runs.
-    pub fn load(&self, hash: u64) -> Option<MixOutcome> {
+    ///
+    /// The store is keyed by a bare 64-bit FNV-1a of the mix spec, which is
+    /// not collision-proof: two distinct mixes *can* hash alike, and a
+    /// wrong outcome served on a collision would silently poison the
+    /// ranked report. So a hit must also present the embedded [`MixSpec`]
+    /// matching `expect` field-for-field; a spec mismatch means the entry
+    /// belongs to some other mix and is quarantined as a miss.
+    pub fn load(&self, hash: u64, expect: &MixSpec) -> Option<MixOutcome> {
         let path = self.path_for(hash);
         let bytes = std::fs::read(&path).ok()?;
         match serde_json::from_slice::<MixOutcome>(&bytes) {
-            Ok(out) if out.hash == hash => Some(out),
+            Ok(out) if out.hash == hash && out.mix == *expect => Some(out),
             _ => {
                 quarantine(&path);
                 None
@@ -160,9 +167,10 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("g10-store-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let store = Store::open(&dir).expect("open");
-        assert!(store.load(7).is_none());
+        let mix = outcome(7).mix;
+        assert!(store.load(7, &mix).is_none());
         store.put(&outcome(7)).expect("put");
-        assert_eq!(store.load(7), Some(outcome(7)));
+        assert_eq!(store.load(7, &mix), Some(outcome(7)));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -171,13 +179,40 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("g10-storeq-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let store = Store::open(&dir).expect("open");
+        let mix = outcome(9).mix;
         std::fs::write(store.path_for(9), b"{ torn").expect("write");
-        assert!(store.load(9).is_none());
+        assert!(store.load(9, &mix).is_none());
         assert!(!store.path_for(9).exists(), "corrupt file moved aside");
         // Hash mismatch (file claims a different identity) is also a miss.
         store.put(&outcome(11)).expect("put");
         std::fs::rename(store.path_for(11), store.path_for(12)).expect("rename");
-        assert!(store.load(12).is_none());
+        assert!(store.load(12, &mix).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn colliding_spec_is_quarantined_not_served() {
+        // Two different mixes that (by construction here) share a store
+        // hash: the entry on disk embeds mix A, but mix B asks for the
+        // same hash. Serving A's outcome for B would corrupt the report,
+        // so the lookup must treat it as a miss and quarantine the entry.
+        let dir = std::env::temp_dir().join(format!("g10-storec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).expect("open");
+        store.put(&outcome(21)).expect("put");
+        let mut other = outcome(21).mix;
+        other.seed = 999;
+        assert!(
+            store.load(21, &other).is_none(),
+            "an entry embedding a different mix spec must not be served"
+        );
+        assert!(
+            !store.path_for(21).exists(),
+            "the colliding entry is quarantined aside"
+        );
+        // The rightful owner re-stores and is served again.
+        store.put(&outcome(21)).expect("re-put");
+        assert_eq!(store.load(21, &outcome(21).mix), Some(outcome(21)));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

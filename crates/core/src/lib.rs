@@ -71,6 +71,7 @@
 
 pub mod attribution;
 pub mod bottleneck;
+pub mod cache;
 pub mod campaign;
 pub mod compare;
 pub mod config;

@@ -14,7 +14,7 @@ pub use campaign::{campaign_report, CampaignReport};
 pub use gantt::{render_gantt, GanttConfig};
 pub use html::{render_html_report, HtmlConfig};
 pub use incidents::{coverage_table, incident_table};
-pub use self_profile::self_profile_table;
+pub use self_profile::{self_profile_table, stage_cache_line};
 pub use summary::{blocked_time_table, ingest_table, machine_table, usage_by_type, usage_table};
 pub use table::{eng, pct, secs, Table};
 pub use timeseries::{render_presence, render_series};

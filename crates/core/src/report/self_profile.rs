@@ -100,6 +100,21 @@ pub fn self_profile_table(meta: &MetaCharacterization) -> Table {
     table
 }
 
+/// One-line stage-cache summary printed under the self-profile table and
+/// after cached campaign runs: the counters that tell whether incremental
+/// recharacterization actually engaged. Kept as a separate line (not a
+/// table row) because the table is strictly per-pipeline-stage and the
+/// cache spans stages.
+pub fn stage_cache_line(stats: &crate::cache::StageCacheStats) -> String {
+    format!(
+        "stage cache: {} hits, {} misses, {} stored ({:.1}% hit rate)",
+        stats.hits,
+        stats.misses,
+        stats.stores,
+        stats.hit_rate()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +140,18 @@ mod tests {
         assert_eq!(table.len(), 4, "{out}");
         // No allocation columns when nothing was counted.
         assert!(!out.contains("allocs"), "{out}");
+    }
+
+    #[test]
+    fn stage_cache_line_reports_counters_and_rate() {
+        let line = stage_cache_line(&crate::cache::StageCacheStats {
+            hits: 9,
+            misses: 1,
+            stores: 1,
+        });
+        assert_eq!(line, "stage cache: 9 hits, 1 misses, 1 stored (90.0% hit rate)");
+        let idle = stage_cache_line(&crate::cache::StageCacheStats::default());
+        assert!(idle.contains("(0.0% hit rate)"), "{idle}");
     }
 
     #[test]

@@ -44,6 +44,7 @@ use std::path::Path;
 use crate::error::Grade10Error;
 use crate::hash::fnv1a;
 use crate::parse::{RawEvent, RawEventKind, RawPath};
+use crate::trace::repair::RawSeries;
 use crate::trace::resource::{Measurement, ResourceInstance, ResourceTrace};
 
 /// File magic: the first eight bytes of every binary trace.
@@ -60,7 +61,7 @@ const SECTION_RESOURCES: u32 = 4;
 const HEADER_LEN: usize = 24;
 const SECTION_ENTRY_LEN: usize = 32;
 const EVENT_RECORD_LEN: usize = 20;
-const MACHINE_NONE: u32 = u32::MAX;
+pub(crate) const MACHINE_NONE: u32 = u32::MAX;
 
 /// A decoded binary trace: the event stream plus optional monitoring data.
 #[derive(Debug, Clone)]
@@ -71,9 +72,33 @@ pub struct BinaryTrace {
     pub resources: Option<ResourceTrace>,
 }
 
-fn corrupt(msg: impl Into<String>) -> Grade10Error {
-    Grade10Error::Serialization(format!("binary trace: {}", msg.into()))
+fn corrupt_in(label: &str, msg: impl Into<String>) -> Grade10Error {
+    Grade10Error::Serialization(format!("{label}: {}", msg.into()))
 }
+
+fn corrupt(msg: impl Into<String>) -> Grade10Error {
+    corrupt_in("binary trace", msg)
+}
+
+/// Identity of one container dialect: the magic, the version a reader
+/// accepts, and the label damage reports use. The binary trace format and
+/// the stage-cache records (`crate::cache`) share the container machinery
+/// and differ only in their spec.
+pub(crate) struct ContainerSpec {
+    /// Eight-byte file magic.
+    pub(crate) magic: &'static [u8; 8],
+    /// The single version this reader accepts.
+    pub(crate) version: u32,
+    /// Human label used in corruption messages ("binary trace", ...).
+    pub(crate) label: &'static str,
+}
+
+/// The binary trace dialect of the section-table container.
+pub(crate) const TRACE_CONTAINER: ContainerSpec = ContainerSpec {
+    magic: &MAGIC,
+    version: FORMAT_VERSION,
+    label: "binary trace",
+};
 
 // ---------------------------------------------------------------------------
 // Encoding
@@ -97,63 +122,75 @@ impl Interner {
     }
 }
 
-fn push_u32(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn push_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn push_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn push_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Serializes events (and optionally monitoring data) into the binary
-/// container format.
-pub fn encode_trace(events: &[RawEvent], resources: Option<&ResourceTrace>) -> Vec<u8> {
-    let mut strings = Interner::default();
-    let mut path_ids: HashMap<RawPath, u32> = HashMap::new();
-    let mut paths: Vec<Vec<(u32, u32)>> = Vec::new();
-    let mut intern_path = |strings: &mut Interner, path: &RawPath| -> u32 {
-        if let Some(&id) = path_ids.get(path) {
+/// Shared encoder for the deduplicated string/path pools and the record
+/// payloads that reference them. [`encode_trace`] and the stage-cache
+/// codecs (`crate::cache::codec`) write the same record layouts through
+/// this one type, so the offline container and the cache records cannot
+/// drift apart.
+#[derive(Default)]
+pub(crate) struct PoolEncoder {
+    strings: Interner,
+    path_ids: HashMap<RawPath, u32>,
+    paths: Vec<Vec<(u32, u32)>>,
+}
+
+impl PoolEncoder {
+    fn intern_path(&mut self, path: &RawPath) -> u32 {
+        if let Some(&id) = self.path_ids.get(path) {
             return id;
         }
-        let id = paths.len() as u32;
-        paths.push(
-            path.iter()
-                .map(|(name, key)| (strings.intern(name), *key))
-                .collect(),
-        );
-        path_ids.insert(path.clone(), id);
+        let id = self.paths.len() as u32;
+        let segs = path
+            .iter()
+            .map(|(name, key)| (self.strings.intern(name), *key))
+            .collect();
+        self.paths.push(segs);
+        self.path_ids.insert(path.clone(), id);
         id
-    };
-
-    // Events first: interning fills the string/path pools as a side effect.
-    let mut events_payload = Vec::with_capacity(4 + events.len() * EVENT_RECORD_LEN);
-    push_u32(&mut events_payload, events.len() as u32);
-    for ev in events {
-        let (kind, payload) = match &ev.kind {
-            RawEventKind::PhaseStart { path } => (0u8, intern_path(&mut strings, path)),
-            RawEventKind::PhaseEnd { path } => (1u8, intern_path(&mut strings, path)),
-            RawEventKind::BlockStart { resource } => (2u8, strings.intern(resource)),
-            RawEventKind::BlockEnd { resource } => (3u8, strings.intern(resource)),
-        };
-        push_u64(&mut events_payload, ev.time);
-        events_payload.extend_from_slice(&ev.machine.to_le_bytes());
-        events_payload.extend_from_slice(&ev.thread.to_le_bytes());
-        events_payload.push(kind);
-        events_payload.extend_from_slice(&[0u8; 3]);
-        push_u32(&mut events_payload, payload);
     }
 
-    let resources_payload = resources.map(|rt| {
+    /// Encodes an `EVENTS`-layout payload, interning names and paths as a
+    /// side effect.
+    pub(crate) fn encode_events(&mut self, events: &[RawEvent]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(4 + events.len() * EVENT_RECORD_LEN);
+        push_u32(&mut buf, events.len() as u32);
+        for ev in events {
+            let (kind, payload) = match &ev.kind {
+                RawEventKind::PhaseStart { path } => (0u8, self.intern_path(path)),
+                RawEventKind::PhaseEnd { path } => (1u8, self.intern_path(path)),
+                RawEventKind::BlockStart { resource } => (2u8, self.strings.intern(resource)),
+                RawEventKind::BlockEnd { resource } => (3u8, self.strings.intern(resource)),
+            };
+            push_u64(&mut buf, ev.time);
+            buf.extend_from_slice(&ev.machine.to_le_bytes());
+            buf.extend_from_slice(&ev.thread.to_le_bytes());
+            buf.push(kind);
+            buf.extend_from_slice(&[0u8; 3]);
+            push_u32(&mut buf, payload);
+        }
+        buf
+    }
+
+    /// Encodes a `RESOURCES`-layout payload from (instance, measurements)
+    /// pairs.
+    pub(crate) fn encode_series<'a>(
+        &mut self,
+        series: impl ExactSizeIterator<Item = (&'a ResourceInstance, &'a [Measurement])>,
+    ) -> Vec<u8> {
         let mut buf = Vec::new();
-        push_u32(&mut buf, rt.instances().len() as u32);
-        for (r, inst) in rt.instances().iter().enumerate() {
-            push_u32(&mut buf, strings.intern(&inst.kind));
-            push_u32(
-                &mut buf,
-                inst.machine.map_or(MACHINE_NONE, |m| m as u32),
-            );
+        push_u32(&mut buf, series.len() as u32);
+        for (inst, ms) in series {
+            push_u32(&mut buf, self.strings.intern(&inst.kind));
+            push_u32(&mut buf, inst.machine.map_or(MACHINE_NONE, |m| m as u32));
             push_u64(&mut buf, inst.capacity.to_bits());
-            let ms = rt.measurements(crate::trace::resource::ResourceIdx(r as u32));
             push_u32(&mut buf, ms.len() as u32);
             for m in ms {
                 push_u64(&mut buf, m.start);
@@ -162,38 +199,50 @@ pub fn encode_trace(events: &[RawEvent], resources: Option<&ResourceTrace>) -> V
             }
         }
         buf
-    });
-
-    let mut strings_payload = Vec::new();
-    push_u32(&mut strings_payload, strings.pool.len() as u32);
-    for s in &strings.pool {
-        push_u32(&mut strings_payload, s.len() as u32);
-        strings_payload.extend_from_slice(s.as_bytes());
     }
 
-    let mut paths_payload = Vec::new();
-    push_u32(&mut paths_payload, paths.len() as u32);
-    for path in &paths {
-        push_u32(&mut paths_payload, path.len() as u32);
-        for &(sid, key) in path {
-            push_u32(&mut paths_payload, sid);
-            push_u32(&mut paths_payload, key);
+    /// Renders the `STRINGS` payload. Call after every record payload so
+    /// the pool is complete.
+    pub(crate) fn strings_payload(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        push_u32(&mut buf, self.strings.pool.len() as u32);
+        for s in &self.strings.pool {
+            push_u32(&mut buf, s.len() as u32);
+            buf.extend_from_slice(s.as_bytes());
         }
+        buf
     }
 
-    let mut sections: Vec<(u32, Vec<u8>)> = vec![
-        (SECTION_STRINGS, strings_payload),
-        (SECTION_PATHS, paths_payload),
-        (SECTION_EVENTS, events_payload),
-    ];
-    if let Some(p) = resources_payload {
-        sections.push((SECTION_RESOURCES, p));
+    /// Renders the `PATHS` payload. Call after every record payload so the
+    /// pool is complete.
+    pub(crate) fn paths_payload(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        push_u32(&mut buf, self.paths.len() as u32);
+        for path in &self.paths {
+            push_u32(&mut buf, path.len() as u32);
+            for &(sid, key) in path {
+                push_u32(&mut buf, sid);
+                push_u32(&mut buf, key);
+            }
+        }
+        buf
     }
+}
 
+/// Assembles a section-table container: header (magic, version, section
+/// count, table checksum), the checksummed section table, then the
+/// payloads back to back. Shared by the binary trace format and the
+/// stage-cache records, which differ only in their [`ContainerSpec`] and
+/// section vocabulary.
+pub(crate) fn build_container(
+    magic: &[u8; 8],
+    version: u32,
+    sections: &[(u32, Vec<u8>)],
+) -> Vec<u8> {
     let table_len = sections.len() * SECTION_ENTRY_LEN;
     let mut offset = (HEADER_LEN + table_len) as u64;
     let mut table = Vec::with_capacity(table_len);
-    for (id, payload) in &sections {
+    for (id, payload) in sections {
         push_u32(&mut table, *id);
         push_u32(&mut table, 0); // reserved
         push_u64(&mut table, offset);
@@ -203,15 +252,44 @@ pub fn encode_trace(events: &[RawEvent], resources: Option<&ResourceTrace>) -> V
     }
 
     let mut out = Vec::with_capacity(offset as usize);
-    out.extend_from_slice(&MAGIC);
-    push_u32(&mut out, FORMAT_VERSION);
+    out.extend_from_slice(magic);
+    push_u32(&mut out, version);
     push_u32(&mut out, sections.len() as u32);
     push_u64(&mut out, fnv1a(&table));
     out.extend_from_slice(&table);
-    for (_, payload) in &sections {
+    for (_, payload) in sections {
         out.extend_from_slice(payload);
     }
     out
+}
+
+/// Serializes events (and optionally monitoring data) into the binary
+/// container format.
+pub fn encode_trace(events: &[RawEvent], resources: Option<&ResourceTrace>) -> Vec<u8> {
+    let mut enc = PoolEncoder::default();
+    // Events first: interning fills the string/path pools as a side effect.
+    let events_payload = enc.encode_events(events);
+    let resources_payload = resources.map(|rt| {
+        let series: Vec<(&ResourceInstance, &[Measurement])> = rt
+            .instances()
+            .iter()
+            .enumerate()
+            .map(|(r, inst)| {
+                (inst, rt.measurements(crate::trace::resource::ResourceIdx(r as u32)))
+            })
+            .collect();
+        enc.encode_series(series.into_iter())
+    });
+
+    let mut sections: Vec<(u32, Vec<u8>)> = vec![
+        (SECTION_STRINGS, enc.strings_payload()),
+        (SECTION_PATHS, enc.paths_payload()),
+        (SECTION_EVENTS, events_payload),
+    ];
+    if let Some(p) = resources_payload {
+        sections.push((SECTION_RESOURCES, p));
+    }
+    build_container(&MAGIC, FORMAT_VERSION, &sections)
 }
 
 /// Encodes and writes a binary trace to `path` via a temp-file rename, so
@@ -239,18 +317,18 @@ pub fn write_trace_file(
 /// Bounds-checked little-endian reader over a byte slice. Every accessor
 /// returns a classified error instead of panicking, which is what makes
 /// the no-panic-on-corrupt-input guarantee auditable.
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
     what: &'static str,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8], what: &'static str) -> Self {
+    pub(crate) fn new(bytes: &'a [u8], what: &'static str) -> Self {
         Cursor { bytes, pos: 0, what }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], Grade10Error> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], Grade10Error> {
         let end = self
             .pos
             .checked_add(n)
@@ -269,24 +347,28 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u16(&mut self) -> Result<u16, Grade10Error> {
+    pub(crate) fn u8(&mut self) -> Result<u8, Grade10Error> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, Grade10Error> {
         let b = self.take(2)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
-    fn u32(&mut self) -> Result<u32, Grade10Error> {
+    pub(crate) fn u32(&mut self) -> Result<u32, Grade10Error> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64, Grade10Error> {
+    pub(crate) fn u64(&mut self) -> Result<u64, Grade10Error> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
 
-    fn finish(self) -> Result<(), Grade10Error> {
+    pub(crate) fn finish(self) -> Result<(), Grade10Error> {
         if self.pos != self.bytes.len() {
             return Err(corrupt(format!(
                 "{} section has {} trailing bytes",
@@ -298,27 +380,33 @@ impl<'a> Cursor<'a> {
     }
 }
 
-struct Section<'a> {
-    id: u32,
-    payload: &'a [u8],
+pub(crate) struct Section<'a> {
+    pub(crate) id: u32,
+    pub(crate) payload: &'a [u8],
 }
 
-/// Validates the container (magic, version, table checksum, section
-/// bounds, per-section checksums) and returns the verified sections.
-fn validate_container(bytes: &[u8]) -> Result<Vec<Section<'_>>, Grade10Error> {
+/// Validates a section-table container against `spec` (magic, version,
+/// table checksum, section bounds, per-section checksums) and returns the
+/// verified sections.
+pub(crate) fn parse_container<'a>(
+    bytes: &'a [u8],
+    spec: &ContainerSpec,
+) -> Result<Vec<Section<'a>>, Grade10Error> {
+    let bad = |msg: String| corrupt_in(spec.label, msg);
     if bytes.len() < HEADER_LEN {
-        return Err(corrupt(format!(
+        return Err(bad(format!(
             "file too short for header: {} bytes",
             bytes.len()
         )));
     }
-    if bytes[0..8] != MAGIC {
-        return Err(corrupt("bad magic (not a Grade10 binary trace)"));
+    if bytes[0..8] != *spec.magic {
+        return Err(bad(format!("bad magic (not a Grade10 {})", spec.label)));
     }
     let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
-    if version != FORMAT_VERSION {
-        return Err(corrupt(format!(
-            "unsupported version {version} (reader supports {FORMAT_VERSION})"
+    if version != spec.version {
+        return Err(bad(format!(
+            "unsupported version {version} (reader supports {})",
+            spec.version
         )));
     }
     let count = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
@@ -327,11 +415,11 @@ fn validate_container(bytes: &[u8]) -> Result<Vec<Section<'_>>, Grade10Error> {
     ]);
     let table_end = HEADER_LEN
         .checked_add(count.checked_mul(SECTION_ENTRY_LEN).ok_or_else(|| {
-            corrupt(format!("absurd section count {count}"))
+            bad(format!("absurd section count {count}"))
         })?)
         .filter(|&e| e <= bytes.len())
         .ok_or_else(|| {
-            corrupt(format!(
+            bad(format!(
                 "section table truncated: {count} sections do not fit in {} bytes",
                 bytes.len()
             ))
@@ -339,7 +427,7 @@ fn validate_container(bytes: &[u8]) -> Result<Vec<Section<'_>>, Grade10Error> {
     let table = &bytes[HEADER_LEN..table_end];
     let actual = fnv1a(table);
     if actual != table_crc {
-        return Err(corrupt(format!(
+        return Err(bad(format!(
             "section table checksum mismatch (recorded {table_crc:#018x}, computed {actual:#018x})"
         )));
     }
@@ -358,16 +446,16 @@ fn validate_container(bytes: &[u8]) -> Result<Vec<Section<'_>>, Grade10Error> {
             entry[24], entry[25], entry[26], entry[27], entry[28], entry[29], entry[30], entry[31],
         ]);
         if len == 0 {
-            return Err(corrupt(format!("section {i} (id {id}) has zero length")));
+            return Err(bad(format!("section {i} (id {id}) has zero length")));
         }
         if offset < next_free {
-            return Err(corrupt(format!(
+            return Err(bad(format!(
                 "section {i} (id {id}) overlaps preceding data (offset {offset})"
             )));
         }
         let end = offset.checked_add(len).filter(|&e| e <= bytes.len() as u64);
         let Some(end) = end else {
-            return Err(corrupt(format!(
+            return Err(bad(format!(
                 "section {i} (id {id}) truncated: [{offset}, {offset}+{len}) exceeds file of {} bytes",
                 bytes.len()
             )));
@@ -375,7 +463,7 @@ fn validate_container(bytes: &[u8]) -> Result<Vec<Section<'_>>, Grade10Error> {
         let payload = &bytes[offset as usize..end as usize];
         let actual = fnv1a(payload);
         if actual != crc {
-            return Err(corrupt(format!(
+            return Err(bad(format!(
                 "section {i} (id {id}) checksum mismatch (recorded {crc:#018x}, computed {actual:#018x})"
             )));
         }
@@ -385,7 +473,12 @@ fn validate_container(bytes: &[u8]) -> Result<Vec<Section<'_>>, Grade10Error> {
     Ok(sections)
 }
 
-fn decode_strings(payload: &[u8]) -> Result<Vec<String>, Grade10Error> {
+/// Validates the binary trace container and returns the verified sections.
+fn validate_container(bytes: &[u8]) -> Result<Vec<Section<'_>>, Grade10Error> {
+    parse_container(bytes, &TRACE_CONTAINER)
+}
+
+pub(crate) fn decode_strings(payload: &[u8]) -> Result<Vec<String>, Grade10Error> {
     let mut c = Cursor::new(payload, "strings");
     let count = c.u32()? as usize;
     let mut out = Vec::new();
@@ -400,7 +493,10 @@ fn decode_strings(payload: &[u8]) -> Result<Vec<String>, Grade10Error> {
     Ok(out)
 }
 
-fn decode_paths(payload: &[u8], strings: &[String]) -> Result<Vec<RawPath>, Grade10Error> {
+pub(crate) fn decode_paths(
+    payload: &[u8],
+    strings: &[String],
+) -> Result<Vec<RawPath>, Grade10Error> {
     let mut c = Cursor::new(payload, "paths");
     let count = c.u32()? as usize;
     let mut out = Vec::new();
@@ -424,7 +520,7 @@ fn decode_paths(payload: &[u8], strings: &[String]) -> Result<Vec<RawPath>, Grad
     Ok(out)
 }
 
-fn decode_events(
+pub(crate) fn decode_events(
     payload: &[u8],
     strings: &[String],
     paths: &[RawPath],
@@ -472,10 +568,17 @@ fn decode_events(
     Ok(out)
 }
 
-fn decode_resources(payload: &[u8], strings: &[String]) -> Result<ResourceTrace, Grade10Error> {
+/// Decodes a `RESOURCES`-layout payload into raw series, with no trace
+/// validation — the caller decides whether (and how strictly) to rebuild
+/// a [`ResourceTrace`]. The stage cache round-trips repaired series
+/// through this layout verbatim.
+pub(crate) fn decode_series(
+    payload: &[u8],
+    strings: &[String],
+) -> Result<Vec<RawSeries>, Grade10Error> {
     let mut c = Cursor::new(payload, "resources");
     let count = c.u32()? as usize;
-    let mut rt = ResourceTrace::new();
+    let mut out = Vec::new();
     for i in 0..count {
         let sid = c.u32()? as usize;
         let machine_raw = c.u32()?;
@@ -493,20 +596,36 @@ fn decode_resources(payload: &[u8], strings: &[String]) -> Result<ResourceTrace,
                 .map(Some)
                 .map_err(|_| corrupt(format!("resource {i} has machine {machine_raw} out of range")))?
         };
-        let idx = rt.try_add_resource(ResourceInstance {
-            kind: kind.clone(),
-            machine,
-            capacity,
-        })?;
+        let mut measurements = Vec::new();
         let mcount = c.u32()? as usize;
         for _ in 0..mcount {
             let start = c.u64()?;
             let end = c.u64()?;
             let avg = f64::from_bits(c.u64()?);
-            rt.try_add_measurement(idx, Measurement { start, end, avg })?;
+            measurements.push(Measurement { start, end, avg });
         }
+        out.push(RawSeries {
+            instance: ResourceInstance {
+                kind: kind.clone(),
+                machine,
+                capacity,
+            },
+            measurements,
+        });
     }
     c.finish()?;
+    Ok(out)
+}
+
+fn decode_resources(payload: &[u8], strings: &[String]) -> Result<ResourceTrace, Grade10Error> {
+    let series = decode_series(payload, strings)?;
+    let mut rt = ResourceTrace::new();
+    for s in series {
+        let idx = rt.try_add_resource(s.instance)?;
+        for m in s.measurements {
+            rt.try_add_measurement(idx, m)?;
+        }
+    }
     Ok(rt)
 }
 

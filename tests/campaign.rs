@@ -259,6 +259,53 @@ fn joiner_waits_out_a_live_lease_then_reclaims_the_abandoned_mix() {
     let _ = std::fs::remove_dir_all(&o.dir);
 }
 
+/// Lease deadlines are absolute wall-clock stamps from the *claimant's*
+/// clock. A claimant whose clock runs behind ours writes a deadline that
+/// is already past on our clock — here, an extreme offset: a claim
+/// stamped near the epoch. A worker that trusted wall expiry alone would
+/// declare the holder dead instantly and double-run the mix. The fix
+/// re-anchors every first-seen lease to the observer's monotonic clock
+/// and grants a skew tolerance of at least a third of the lease, so the
+/// reclaim must wait out that locally-measured window (in which a live
+/// holder would have heartbeat) before stealing.
+#[test]
+fn wall_clock_skew_does_not_let_a_worker_steal_a_fresh_lease() {
+    let reference = baseline();
+    let mut o = opts("skewlease");
+    std::fs::create_dir_all(&o.dir).unwrap();
+    let mixes = spec().expand();
+    let victim = &mixes[0];
+    let victim_hash = victim.content_hash(&spec().code_version);
+    {
+        let mut journal = Journal::create(&journal_path(&o), "chaos").expect("create");
+        // Claimed at 1 ms, deadline 2 ms after the Unix epoch: decades
+        // expired by our wall clock the instant it is observed.
+        journal
+            .record_claimed(&victim.id(), victim_hash, "skewed", 1, 2)
+            .expect("skewed claim");
+    }
+    o.join = true; // join honors foreign claims; resume would abandon them
+    o.poll_ms = 5;
+    o.lease_ms = 600; // skew tolerance = lease/3 = 200 ms
+    o.worker = "observer".into();
+    let t0 = std::time::Instant::now();
+    let run = run_campaign(&spec(), &o, fake_runner).expect("join across clock skew");
+    assert!(
+        t0.elapsed() >= Duration::from_millis(200),
+        "a wall-expired lease must still be honored for the locally-measured \
+         skew tolerance before it is reclaimed (elapsed {:?})",
+        t0.elapsed()
+    );
+    assert!(run.is_clean());
+    assert_eq!(
+        run.executed, 6,
+        "the skewed claimant's mix ran exactly once, after the tolerance lapsed"
+    );
+    assert_eq!(run.report_text, reference.report_text);
+    assert_eq!(run.report_json, reference.report_json);
+    let _ = std::fs::remove_dir_all(&o.dir);
+}
+
 /// A leader and an in-process joiner drain one matrix cooperatively:
 /// every mix runs exactly once across the two, and both assemble the
 /// same byte-identical report as a solo run.

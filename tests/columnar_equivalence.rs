@@ -205,6 +205,33 @@ fn columnar_matrix_matches_goldens_across_widths() {
     check_golden("columnar_equivalence_hashes.txt", &hash_lines(&baseline));
 }
 
+/// `CODE_VERSION` moves in lockstep with the attribution goldens. The
+/// campaign store and the stage cache both key durable artifacts on
+/// `CODE_VERSION`; if attribution output changes (re-blessed goldens)
+/// without a version bump, stale stores from the previous build would be
+/// silently reused. This pin makes that a CI failure: re-blessing the
+/// goldens changes their hash, so the literal below must be re-derived —
+/// and the paired version literal forces the bump decision into review.
+#[test]
+fn code_version_is_tied_to_the_attribution_goldens() {
+    let goldens = fs::read_to_string(golden_path("columnar_equivalence_hashes.txt"))
+        .expect("committed golden")
+        + &fs::read_to_string(golden_path("columnar_unsupervised_hash.txt"))
+            .expect("committed golden");
+    let tie = format!(
+        "{} fnv1a={:016x}",
+        grade10::core::campaign::CODE_VERSION,
+        fnv1a(goldens.as_bytes())
+    );
+    assert_eq!(
+        tie, "g10c-2 fnv1a=b93bcf2b12bfb1e8",
+        "attribution goldens and CODE_VERSION moved out of lockstep. If the \
+         goldens were intentionally re-blessed, bump CODE_VERSION in \
+         crates/core/src/campaign/spec.rs (stored outcomes and stage-cache \
+         records from the old build are stale) and update this pinned pair."
+    );
+}
+
 /// The unsupervised single-process pipeline is pinned too — it skips the
 /// per-machine split/merge, so it exercises one big grid end to end.
 #[test]

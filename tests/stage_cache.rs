@@ -1,0 +1,317 @@
+//! Incremental recharacterization through the stage cache.
+//!
+//! The stage cache persists per-machine ingest and attribution results
+//! keyed by a content hash of their inputs (event substream, monitoring
+//! series, execution model, rule matrix, profile config, `CODE_VERSION`),
+//! so a re-run reuses everything whose inputs did not change. These tests
+//! pin the three properties that make that trustworthy:
+//!
+//! 1. **Transparency** — cached, uncached, cold, and warm runs produce
+//!    byte-identical characterizations, at every pool width.
+//! 2. **Precision** — editing one machine's monitoring invalidates
+//!    exactly that machine's ingest and attribution units; every other
+//!    unit is served from cache.
+//! 3. **Campaign integration** — a warm re-run of an identical campaign
+//!    is 100% stage-cache hits with a byte-identical ranked report, and
+//!    editing one spec axis recomputes only the affected mixes' units.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use grade10::core::cache::StageCache;
+use grade10::core::campaign::{
+    run_campaign, CampaignOptions, CampaignSpec, MixAttempt, MixOutcome, MixSpec,
+};
+use grade10::core::config::Parallelism;
+use grade10::core::error::Grade10Error;
+use grade10::core::pipeline::{characterize_events, CharacterizationConfig};
+use grade10::core::supervise::{characterize_events_supervised, PartialCharacterization};
+use grade10::core::trace::{IngestConfig, RawSeries, MILLIS};
+use grade10::engines::bridge::{to_raw_events, to_raw_series};
+use grade10::engines::pregel::PregelConfig;
+use grade10::engines::{run_workload, Algorithm, Dataset, EngineKind, WorkloadRun, WorkloadSpec};
+use grade10::core::parse::RawEvent;
+
+fn tdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("g10-stagecache-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny_run(seed: u64) -> WorkloadRun {
+    run_workload(&WorkloadSpec {
+        dataset: Dataset::Rmat { scale: 6, seed },
+        algorithm: Algorithm::PageRank { iterations: 2 },
+        engine: EngineKind::Giraph(PregelConfig {
+            machines: 2,
+            threads: 2,
+            cores: 2.0,
+            ..Default::default()
+        }),
+    })
+}
+
+fn streams(run: &WorkloadRun) -> (Vec<RawEvent>, Vec<RawSeries>) {
+    (
+        to_raw_events(&run.sim.logs),
+        to_raw_series(&run.sim.series, 8),
+    )
+}
+
+/// Supervised config at a pinned pool width, with (or without) a cache.
+fn sup_cfg(cache: Option<&Arc<StageCache>>, width: usize) -> CharacterizationConfig {
+    let mut cfg = CharacterizationConfig::default();
+    cfg.profile.slice = 10 * MILLIS;
+    cfg.profile.estimate_missing = true;
+    cfg.ingest = IngestConfig::lenient();
+    cfg.supervise.parallelism = Parallelism::Always;
+    cfg.supervise.threads = Some(width);
+    cfg.supervise.cache = cache.cloned();
+    cfg
+}
+
+/// Exhaustive textual dump of a partial characterization — every float —
+/// so string equality is bit equality (Debug round-trips `f64` exactly).
+fn dump(p: &PartialCharacterization) -> String {
+    let mut s = String::new();
+    for i in &p.incidents {
+        writeln!(s, "incident={i:?}").unwrap();
+    }
+    writeln!(s, "coverage={:?}", p.coverage).unwrap();
+    let profile = &p.characterization.profile;
+    writeln!(s, "consumption={:?}", profile.consumption).unwrap();
+    writeln!(s, "demand_exact={:?}", profile.demand_exact).unwrap();
+    writeln!(s, "demand_variable={:?}", profile.demand_variable).unwrap();
+    writeln!(s, "unattributed={:?}", profile.unattributed).unwrap();
+    writeln!(s, "overflow={:?}", profile.overflow).unwrap();
+    writeln!(s, "estimated={:?}", profile.estimated).unwrap();
+    for u in &profile.usages {
+        writeln!(s, "usage={u:?}").unwrap();
+    }
+    writeln!(s, "makespan={}", p.characterization.base_makespan).unwrap();
+    writeln!(s, "ingest={:?}", p.characterization.ingest).unwrap();
+    s
+}
+
+/// One cold supervised run populates the cache; warm re-runs at pool
+/// widths 1, 2, and 8 are 100% hits, store nothing, and reproduce the
+/// cold characterization byte for byte.
+#[test]
+fn warm_reruns_are_full_hits_and_byte_identical_across_widths() {
+    let run = tiny_run(3);
+    let (events, monitoring) = streams(&run);
+    let cache_dir = tdir("widths");
+
+    let cold_cache = Arc::new(StageCache::open(&cache_dir).expect("open cache"));
+    let cold = characterize_events_supervised(
+        &run.model,
+        &run.rules_tuned,
+        &events,
+        &monitoring,
+        &sup_cfg(Some(&cold_cache), 1),
+    )
+    .expect("cold run");
+    let cs = cold_cache.stats();
+    assert_eq!(cs.hits, 0, "empty cache cannot hit");
+    assert!(cs.misses > 0, "supervised units must consult the cache");
+    assert_eq!(cs.stores, cs.misses, "every miss is stored");
+
+    // The cache must also be transparent: a cold cached run equals an
+    // uncached run bit for bit.
+    let uncached = characterize_events_supervised(
+        &run.model,
+        &run.rules_tuned,
+        &events,
+        &monitoring,
+        &sup_cfg(None, 1),
+    )
+    .expect("uncached run");
+    assert_eq!(dump(&cold), dump(&uncached), "caching changed the output");
+
+    for width in [1usize, 2, 8] {
+        let warm_cache = Arc::new(StageCache::open(&cache_dir).expect("reopen cache"));
+        let warm = characterize_events_supervised(
+            &run.model,
+            &run.rules_tuned,
+            &events,
+            &monitoring,
+            &sup_cfg(Some(&warm_cache), width),
+        )
+        .expect("warm run");
+        let ws = warm_cache.stats();
+        assert_eq!(ws.misses, 0, "width {width}: warm run must not miss");
+        assert_eq!(ws.hits, cs.misses, "width {width}: every unit served from cache");
+        assert_eq!(ws.stores, 0, "width {width}: warm run stores nothing");
+        assert_eq!(
+            dump(&cold),
+            dump(&warm),
+            "width {width}: warm characterization diverged from cold"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// Perturbing one machine's monitoring values invalidates exactly that
+/// machine's ingest and attribution units — two misses, everything else
+/// hits — and the partially-reused result still equals an uncached run
+/// over the perturbed input byte for byte.
+#[test]
+fn one_machine_edit_recomputes_only_that_machines_units() {
+    let run = tiny_run(5);
+    let (events, monitoring) = streams(&run);
+    let cache_dir = tdir("precision");
+
+    let cold_cache = Arc::new(StageCache::open(&cache_dir).expect("open cache"));
+    characterize_events_supervised(
+        &run.model,
+        &run.rules_tuned,
+        &events,
+        &monitoring,
+        &sup_cfg(Some(&cold_cache), 2),
+    )
+    .expect("cold run");
+    let total = cold_cache.stats().misses;
+    assert!(total >= 4, "a 2-machine run has at least 4 cacheable units");
+
+    // Halve one measurement on one machine-1 series. Only the *value*
+    // changes — timestamps are untouched, so the cross-machine
+    // plausibility bound (a duration statistic) and the merged event
+    // stream are both unchanged, and no other unit's key moves.
+    let mut perturbed = monitoring.clone();
+    let victim = perturbed
+        .iter_mut()
+        .find(|s| s.instance.machine == Some(1) && !s.measurements.is_empty())
+        .expect("a machine-1 series to perturb");
+    victim.measurements[0].avg *= 0.5;
+
+    let warm_cache = Arc::new(StageCache::open(&cache_dir).expect("reopen cache"));
+    let partial = characterize_events_supervised(
+        &run.model,
+        &run.rules_tuned,
+        &events,
+        &perturbed,
+        &sup_cfg(Some(&warm_cache), 2),
+    )
+    .expect("perturbed run");
+    let ws = warm_cache.stats();
+    assert_eq!(
+        ws.misses, 2,
+        "exactly machine 1's ingest and attribution units recompute"
+    );
+    assert_eq!(ws.hits, total - 2, "every other unit is served from cache");
+    assert_eq!(ws.stores, 2, "the recomputed units are stored");
+
+    let uncached = characterize_events_supervised(
+        &run.model,
+        &run.rules_tuned,
+        &events,
+        &perturbed,
+        &sup_cfg(None, 2),
+    )
+    .expect("uncached perturbed run");
+    assert_eq!(
+        dump(&partial),
+        dump(&uncached),
+        "mixing cached and recomputed units changed the output"
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// A campaign runner that characterizes the mix through the plain cached
+/// pipeline (the same path `grade10 campaign` uses for strict rungs).
+fn cached_runner(
+    cache: Arc<StageCache>,
+) -> impl Fn(&MixSpec, MixAttempt) -> Result<MixOutcome, Grade10Error> + Sync {
+    move |mix, _attempt| {
+        let run = tiny_run(mix.seed);
+        let (events, monitoring) = streams(&run);
+        let mut cfg = CharacterizationConfig::default();
+        cfg.profile.slice = 10 * MILLIS;
+        cfg.supervise.cache = Some(cache.clone());
+        let c = characterize_events(&run.model, &run.rules_tuned, &events, &monitoring, &cfg)?;
+        Ok(MixOutcome {
+            mix: mix.clone(),
+            hash: 0,
+            makespan_ns: c.base_makespan,
+            classes: c.issue_classes(&run.model),
+            incidents: 0,
+            degraded: false,
+            attempts: 0,
+            mode: String::new(),
+        })
+    }
+}
+
+fn campaign_spec(seeds: Vec<u64>) -> CampaignSpec {
+    CampaignSpec {
+        name: "stage-cache".into(),
+        code_version: "t1".into(),
+        algorithms: vec!["pr".into()],
+        datasets: vec!["rmat:6".into()],
+        engines: vec!["giraph".into()],
+        machines: vec![2],
+        seeds,
+        faults: vec!["none".into()],
+    }
+}
+
+fn campaign_opts(name: &str) -> CampaignOptions {
+    let mut o = CampaignOptions::new(tdir(name));
+    o.retry.base = Duration::ZERO;
+    o
+}
+
+/// Campaigns sharing one stage cache: an identical re-run (into a fresh
+/// campaign directory, so the mix-level store cannot shortcut it) is 100%
+/// stage hits and renders a byte-identical ranked report; editing the
+/// seed axis recomputes only the changed mix's units.
+#[test]
+fn warm_campaign_rerun_hits_fully_and_reproduces_the_report() {
+    let cache_dir = tdir("campaign-cache");
+
+    let cold_cache = Arc::new(StageCache::open(&cache_dir).expect("open cache"));
+    let a = campaign_opts("campaign-cold");
+    let cold = run_campaign(&campaign_spec(vec![1, 2]), &a, cached_runner(cold_cache.clone()))
+        .expect("cold campaign");
+    assert!(cold.is_clean());
+    let cs = cold_cache.stats();
+    assert_eq!(cs.hits, 0);
+    assert_eq!(
+        cs.misses, 4,
+        "2 mixes × (ingest + profile) stage lookups, all cold"
+    );
+    assert_eq!(cs.stores, 4);
+
+    // Same spec, fresh campaign directory, shared cache: every stage unit
+    // of every mix is reused and the ranked report does not move a byte.
+    let warm_cache = Arc::new(StageCache::open(&cache_dir).expect("reopen cache"));
+    let b = campaign_opts("campaign-warm");
+    let warm = run_campaign(&campaign_spec(vec![1, 2]), &b, cached_runner(warm_cache.clone()))
+        .expect("warm campaign");
+    let ws = warm_cache.stats();
+    assert_eq!(ws.misses, 0, "warm campaign re-run must be all hits");
+    assert_eq!(ws.hits, 4);
+    assert_eq!(
+        warm.report_text, cold.report_text,
+        "warm ranked report diverged from cold"
+    );
+    assert_eq!(warm.report_json, cold.report_json);
+
+    // Edit one axis value (seed 2 → 3): the seed-1 mix's units all hit,
+    // the seed-3 mix's units all miss.
+    let edit_cache = Arc::new(StageCache::open(&cache_dir).expect("reopen cache"));
+    let c = campaign_opts("campaign-edit");
+    let edited = run_campaign(&campaign_spec(vec![1, 3]), &c, cached_runner(edit_cache.clone()))
+        .expect("edited campaign");
+    assert!(edited.is_clean());
+    let es = edit_cache.stats();
+    assert_eq!(es.hits, 2, "the unchanged mix is served entirely from cache");
+    assert_eq!(es.misses, 2, "only the edited mix's units recompute");
+
+    for o in [&a, &b, &c] {
+        let _ = std::fs::remove_dir_all(&o.dir);
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
